@@ -1,0 +1,51 @@
+//! ABL-DANNER: the δ trade-off of Theorem 1.1.
+//!
+//! Sweeps the danner parameter δ and reports the size of the constructed
+//! danner, its diameter, and the charged construction cost — the
+//! message/time trade-off that Algorithm 1 (δ = ½) and Algorithm 2 (δ = 0)
+//! sit at opposite ends of.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbreak_bench::workloads::gnp_instance;
+use symbreak_danner::Danner;
+use symbreak_graphs::properties;
+
+fn print_table() {
+    println!("\n=== ABL-DANNER: danner size/diameter/charged cost vs δ (n = 256, p = 0.3) ===");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>14} {:>12}",
+        "δ", "|E(G)|", "|E(H)|", "diam(H)", "charged msgs", "charged rds"
+    );
+    let inst = gnp_instance(256, 0.3, 700);
+    for delta in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let danner = Danner::build(&inst.graph, &inst.ids, delta).expect("connected instance");
+        let cost = danner.construction_cost();
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>14} {:>12}",
+            delta,
+            inst.graph.num_edges(),
+            danner.num_edges(),
+            properties::diameter(danner.subgraph()).unwrap_or(0),
+            cost.charged_messages,
+            cost.charged_rounds
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let inst = gnp_instance(128, 0.3, 701);
+    c.bench_function("danner_build_n128_delta0.5", |b| {
+        b.iter(|| Danner::build(&inst.graph, &inst.ids, 0.5).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

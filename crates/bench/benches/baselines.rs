@@ -1,0 +1,51 @@
+//! F1-KT1-MIS-BASE / F1-COL-BASE: the Ω(m)/Õ(m) baseline rows of Figure 1.
+//!
+//! Luby's MIS (the KT-1 Õ(m) upper bound cited in Figure 1 from [12, 26])
+//! and the naive distributed (Δ+1)-coloring both send Θ(m) messages — these
+//! are the reference points the o(m) algorithms are measured against.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbreak_bench::workloads::{fit_exponent, gnp_instance, standard_n_sweep};
+use symbreak_core::{experiments, MeasurementTable};
+
+fn print_table() {
+    let mut table = MeasurementTable::new();
+    let mut luby = Vec::new();
+    let mut col = Vec::new();
+    for (i, n) in standard_n_sweep().into_iter().enumerate() {
+        let inst = gnp_instance(n, 0.5, 500 + i as u64);
+        let row = experiments::measure_luby_baseline(&inst.graph, &inst.ids, i as u64);
+        luby.push((inst.graph.num_edges() as f64, row.total_messages() as f64));
+        table.push(row);
+        let row = experiments::measure_coloring_baseline(&inst.graph, &inst.ids, i as u64);
+        col.push((inst.graph.num_edges() as f64, row.total_messages() as f64));
+        table.push(row);
+    }
+    println!("\n=== F1 baselines: Θ(m)-message MIS and coloring, G(n, 0.5) ===");
+    println!("{table}");
+    println!(
+        "fitted exponents in m: Luby ≈ m^{:.2}, coloring baseline ≈ m^{:.2} (both ≈ linear in m)\n",
+        fit_exponent(&luby),
+        fit_exponent(&col)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let inst = gnp_instance(96, 0.5, 6);
+    c.bench_function("luby_baseline_n96", |b| {
+        b.iter(|| experiments::measure_luby_baseline(&inst.graph, &inst.ids, 1))
+    });
+    c.bench_function("coloring_baseline_n96", |b| {
+        b.iter(|| experiments::measure_coloring_baseline(&inst.graph, &inst.ids, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! CROSSOVER: the headline question — when does o(m) communication pay off?
+//!
+//! At fixed n, sweeps the density p of `G(n, p)`. The Θ(m) baselines grow
+//! linearly with density while Algorithm 1 / Algorithm 3 stay roughly flat,
+//! so the paper's algorithms win exactly on the dense instances the
+//! introduction motivates.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbreak_bench::workloads::gnp_instance;
+use symbreak_core::{experiments, MeasurementTable};
+
+fn print_table() {
+    println!("\n=== CROSSOVER: density sweep at n = 192, G(n, p) ===");
+    let mut table = MeasurementTable::new();
+    for (i, p) in [0.05f64, 0.15, 0.4, 0.8].into_iter().enumerate() {
+        let inst = gnp_instance(192, p, 600 + i as u64);
+        table.push(experiments::measure_alg1(&inst.graph, &inst.ids, i as u64));
+        table.push(experiments::measure_coloring_baseline(&inst.graph, &inst.ids, i as u64));
+        table.push(experiments::measure_alg3(&inst.graph, &inst.ids, i as u64));
+        table.push(experiments::measure_luby_baseline(&inst.graph, &inst.ids, i as u64));
+    }
+    println!("{table}");
+    println!("(rows are grouped in blocks of four per density: Alg1, coloring baseline, Alg3, Luby)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let inst = gnp_instance(96, 0.8, 9);
+    c.bench_function("alg1_dense_n96_p0.8", |b| {
+        b.iter(|| experiments::measure_alg1(&inst.graph, &inst.ids, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

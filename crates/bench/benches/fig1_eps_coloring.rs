@@ -1,0 +1,50 @@
+//! F1-EPS-COL-UB: Theorem 3.8 — (1+ε)Δ-coloring with Õ(n/ε²) messages.
+//!
+//! Sweeps both `n` (message growth ≈ linear in n) and `ε` (cost grows as ε
+//! shrinks) and prints the Figure-1-style rows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbreak_bench::workloads::{fit_exponent, gnp_instance, standard_n_sweep};
+use symbreak_core::{experiments, MeasurementTable};
+
+fn print_table() {
+    let mut table = MeasurementTable::new();
+    let mut points = Vec::new();
+    for (i, n) in standard_n_sweep().into_iter().enumerate() {
+        let inst = gnp_instance(n, 0.5, 200 + i as u64);
+        let row = experiments::measure_alg2(&inst.graph, &inst.ids, 0.5, i as u64);
+        points.push((n as f64, row.total_messages() as f64));
+        table.push(row);
+    }
+    println!("\n=== F1-EPS-COL-UB: Algorithm 2 across n (ε = 0.5), G(n, 0.5) ===");
+    println!("{table}");
+    println!(
+        "fitted message-growth exponent ≈ n^{:.2} (paper: Õ(n/ε²), i.e. ≈ 1 in n)\n",
+        fit_exponent(&points)
+    );
+
+    let inst = gnp_instance(192, 0.5, 300);
+    let mut table = MeasurementTable::new();
+    for eps in [0.1, 0.2, 0.5, 1.0] {
+        table.push(experiments::measure_alg2(&inst.graph, &inst.ids, eps, 9));
+    }
+    println!("=== F1-EPS-COL-UB: ε sweep at n = 192 (smaller ε ⇒ more messages) ===");
+    println!("{table}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let inst = gnp_instance(64, 0.5, 8);
+    c.bench_function("alg2_eps_coloring_n64_eps0.5", |b| {
+        b.iter(|| experiments::measure_alg2(&inst.graph, &inst.ids, 0.5, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

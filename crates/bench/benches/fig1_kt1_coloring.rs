@@ -1,0 +1,51 @@
+//! F1-KT1-COL-UB / F1-KT1-COL-ASYNC: Figure 1, KT-1 coloring upper bounds.
+//!
+//! Reproduces the Õ(n^1.5)-message claim of Theorem 3.3 (and the async
+//! variant of Theorem 3.4): message counts of Algorithm 1 across an `n`
+//! sweep on dense `G(n, p)` graphs, compared against `m` and against the
+//! Θ(m)-message baseline, plus a fitted growth exponent.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbreak_bench::workloads::{fit_exponent, gnp_instance, standard_n_sweep};
+use symbreak_core::{experiments, MeasurementTable};
+
+fn print_table() {
+    let mut table = MeasurementTable::new();
+    let mut points = Vec::new();
+    let mut baseline_points = Vec::new();
+    for (i, n) in standard_n_sweep().into_iter().enumerate() {
+        let inst = gnp_instance(n, 0.5, 100 + i as u64);
+        let row = experiments::measure_alg1(&inst.graph, &inst.ids, i as u64);
+        points.push((n as f64, row.total_messages() as f64));
+        table.push(row);
+        let row = experiments::measure_coloring_baseline(&inst.graph, &inst.ids, i as u64);
+        baseline_points.push((n as f64, row.total_messages() as f64));
+        table.push(row);
+        let row = experiments::measure_alg1_async(&inst.graph, &inst.ids, i as u64);
+        table.push(row);
+    }
+    println!("\n=== F1-KT1-COL-UB: Algorithm 1 vs the Θ(m) baseline, G(n, 0.5) ===");
+    println!("{table}");
+    println!(
+        "fitted message-growth exponent: Alg1 ≈ n^{:.2} (paper: Õ(n^1.5)), baseline ≈ n^{:.2} (≈ m = Θ(n²))\n",
+        fit_exponent(&points),
+        fit_exponent(&baseline_points)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let inst = gnp_instance(64, 0.5, 7);
+    c.bench_function("alg1_kt1_coloring_n64_p0.5", |b| {
+        b.iter(|| experiments::measure_alg1(&inst.graph, &inst.ids, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

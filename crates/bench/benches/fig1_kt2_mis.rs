@@ -1,0 +1,48 @@
+//! F1-KT2-MIS-UB: Figure 1 / Theorem 4.1 — MIS in KT-2 with Õ(n^1.5)
+//! messages and Õ(√n) rounds.
+//!
+//! Prints Algorithm 3's message counts across an `n` sweep on dense graphs
+//! next to Luby's Θ(m)-message baseline, with fitted growth exponents.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbreak_bench::workloads::{fit_exponent, gnp_instance, standard_n_sweep};
+use symbreak_core::{experiments, MeasurementTable};
+
+fn print_table() {
+    let mut table = MeasurementTable::new();
+    let mut alg3_points = Vec::new();
+    let mut luby_points = Vec::new();
+    for (i, n) in standard_n_sweep().into_iter().enumerate() {
+        let inst = gnp_instance(n, 0.5, 400 + i as u64);
+        let row = experiments::measure_alg3(&inst.graph, &inst.ids, i as u64);
+        alg3_points.push((n as f64, row.total_messages() as f64));
+        table.push(row);
+        let row = experiments::measure_luby_baseline(&inst.graph, &inst.ids, i as u64);
+        luby_points.push((n as f64, row.total_messages() as f64));
+        table.push(row);
+    }
+    println!("\n=== F1-KT2-MIS-UB: Algorithm 3 (KT-2) vs Luby (KT-1, Θ(m)), G(n, 0.5) ===");
+    println!("{table}");
+    println!(
+        "fitted exponents: Alg3 ≈ n^{:.2} (paper: Õ(n^1.5)), Luby ≈ n^{:.2} (≈ m = Θ(n²))\n",
+        fit_exponent(&alg3_points),
+        fit_exponent(&luby_points)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let inst = gnp_instance(96, 0.5, 5);
+    c.bench_function("alg3_kt2_mis_n96_p0.5", |b| {
+        b.iter(|| experiments::measure_alg3(&inst.graph, &inst.ids, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

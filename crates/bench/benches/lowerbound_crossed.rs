@@ -1,0 +1,62 @@
+//! F1-KT1-LB: the Ω(n²) comparison-based lower bound (Theorems 2.10–2.16).
+//!
+//! Measures, on the crossed-graph family of Figure 2, how many edges a
+//! *correct* comparison-based algorithm utilizes (Definition 2.3) and how
+//! often the crossed pair `(e, e′)` is utilized — the empirical mechanism of
+//! the Ω(n²) bound.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symbreak_bench::workloads::fit_exponent;
+use symbreak_lowerbounds::experiments::{crossed_utilization_experiment, Problem};
+
+fn print_table() {
+    println!("\n=== F1-KT1-LB: utilized edges of correct comparison-based algorithms on G ∪ G′ ===");
+    println!(
+        "{:<14} {:>4} {:>6} {:>10} {:>12} {:>16} {:>14}",
+        "problem", "t", "n", "edges", "utilized", "utilized frac", "pair hit"
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    for problem in [Problem::Coloring, Problem::Mis] {
+        let mut points = Vec::new();
+        for t in [4usize, 6, 8, 12] {
+            let stats = crossed_utilization_experiment(problem, t, 5, &mut rng);
+            points.push((6.0 * t as f64, stats.avg_utilized_edges));
+            println!(
+                "{:<14} {:>4} {:>6} {:>10} {:>12.1} {:>15.0}% {:>11}/{}",
+                format!("{problem:?}"),
+                t,
+                6 * t,
+                stats.base_edges,
+                stats.avg_utilized_edges,
+                100.0 * stats.utilized_fraction(),
+                stats.pair_utilized,
+                stats.samples
+            );
+        }
+        println!(
+            "fitted utilized-edge exponent for {problem:?}: ≈ n^{:.2} (lower bound: Ω(n²))\n",
+            fit_exponent(&points)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    c.bench_function("crossed_utilization_t6_coloring", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            crossed_utilization_experiment(Problem::Coloring, 6, 2, &mut rng)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! F1-KTRHO-LB: the Ω(n) lower bound in KT-ρ (Theorem 2.17).
+//!
+//! On the disjoint-cycle family, measures the messages sent by correct
+//! algorithms (they scale linearly with n and leave no cycle mute) and shows
+//! that a radius-ρ "silent rule" is defeated by some ID assignment.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symbreak_bench::workloads::fit_exponent;
+use symbreak_lowerbounds::cycles::{find_failing_assignment, rank_mod3_rule, CycleFamily};
+use symbreak_lowerbounds::experiments::{cycle_message_experiment, Problem};
+
+fn print_table() {
+    println!("\n=== F1-KTRHO-LB: messages on the disjoint-cycle family (cycles of length 8) ===");
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>12}",
+        "problem", "n", "messages", "msgs/node", "mute cycles"
+    );
+    let mut rng = StdRng::seed_from_u64(4);
+    for problem in [Problem::Coloring, Problem::Mis] {
+        let mut points = Vec::new();
+        for count in [8usize, 16, 32, 64] {
+            let stats = cycle_message_experiment(problem, count, 8, &mut rng);
+            points.push((stats.n as f64, stats.messages as f64));
+            println!(
+                "{:<10} {:>8} {:>10} {:>12.2} {:>12}",
+                format!("{problem:?}"),
+                stats.n,
+                stats.messages,
+                stats.messages as f64 / stats.n as f64,
+                stats.mute_cycles
+            );
+        }
+        println!(
+            "fitted message exponent for {problem:?}: ≈ n^{:.2} (lower bound: Ω(n))\n",
+            fit_exponent(&points)
+        );
+    }
+    let family = CycleFamily::new(4, 9);
+    let tries = find_failing_assignment(&family, 1, rank_mod3_rule, 500, &mut rng);
+    println!("silent radius-1 rule defeated after {tries:?} random ID assignments\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    c.bench_function("cycle_messages_16x8_mis", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            cycle_message_experiment(Problem::Mis, 16, 8, &mut rng)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

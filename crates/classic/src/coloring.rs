@@ -1,0 +1,405 @@
+//! Vertex-coloring algorithms: verification, sequential greedy, Johansson's
+//! randomized list coloring, and the Θ(m)-message distributed baseline.
+
+pub mod verify {
+    //! Coloring solution checkers.
+
+    use symbreak_graphs::Graph;
+
+    /// Whether every node is coloured and no edge is monochromatic.
+    pub fn is_proper_coloring(graph: &Graph, colors: &[Option<u64>]) -> bool {
+        assert_eq!(colors.len(), graph.num_nodes(), "one colour per node required");
+        colors.iter().all(Option::is_some)
+            && graph
+                .edges()
+                .all(|(_, u, v)| colors[u.index()] != colors[v.index()])
+    }
+
+    /// Whether the coloring uses only colours `< bound` (e.g. `Δ + 1` or
+    /// `(1 + ε)Δ`).
+    pub fn uses_colors_below(colors: &[Option<u64>], bound: u64) -> bool {
+        colors.iter().flatten().all(|&c| c < bound)
+    }
+
+    /// Whether each node's colour belongs to its list (list-coloring).
+    pub fn respects_lists(colors: &[Option<u64>], lists: &[Vec<u64>]) -> bool {
+        assert_eq!(colors.len(), lists.len(), "one list per node required");
+        colors
+            .iter()
+            .zip(lists)
+            .all(|(c, list)| c.map(|c| list.contains(&c)).unwrap_or(false))
+    }
+
+    /// Number of distinct colours used.
+    pub fn num_colors_used(colors: &[Option<u64>]) -> usize {
+        let set: std::collections::BTreeSet<u64> = colors.iter().flatten().copied().collect();
+        set.len()
+    }
+}
+
+pub mod greedy {
+    //! Sequential greedy coloring (centralized reference and baseline).
+
+    use symbreak_graphs::{Graph, NodeId};
+
+    /// Greedy colours nodes in the given order with the smallest colour not
+    /// used by an already-coloured neighbour; uses at most `Δ + 1` colours.
+    pub fn greedy_coloring_in_order(graph: &Graph, order: &[NodeId]) -> Vec<Option<u64>> {
+        assert_eq!(order.len(), graph.num_nodes(), "order must list every node once");
+        let mut colors: Vec<Option<u64>> = vec![None; graph.num_nodes()];
+        for &v in order {
+            let taken: std::collections::BTreeSet<u64> = graph
+                .neighbors(v)
+                .filter_map(|u| colors[u.index()])
+                .collect();
+            let mut c = 0u64;
+            while taken.contains(&c) {
+                c += 1;
+            }
+            colors[v.index()] = Some(c);
+        }
+        colors
+    }
+
+    /// Greedy coloring in node-index order.
+    pub fn greedy_coloring(graph: &Graph) -> Vec<Option<u64>> {
+        let order: Vec<NodeId> = graph.nodes().collect();
+        greedy_coloring_in_order(graph, &order)
+    }
+}
+
+pub mod johansson {
+    //! Johansson's randomized (deg+1)-list-coloring as a CONGEST automaton.
+    //!
+    //! In each phase an uncoloured node proposes a uniformly random colour
+    //! from its current palette and keeps it if no active neighbour proposed
+    //! or already holds the same colour; finalised colours are announced so
+    //! that neighbours strike them from their palettes. The algorithm
+    //! terminates in `O(log n)` phases w.h.p. and exchanges `O(1)` messages
+    //! per active edge per phase, which is exactly the behaviour Algorithm 1
+    //! relies on when colouring each part `B_i` (Step 3) and the leftover
+    //! set `L` (Step 5).
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use symbreak_congest::{
+        ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
+    };
+    use symbreak_graphs::{Graph, IdAssignment, NodeId};
+
+    /// Proposal of a candidate colour.
+    pub const TAG_PROPOSE: u16 = 0x40;
+    /// Announcement of a finalised colour.
+    pub const TAG_FINAL: u16 = 0x41;
+
+    /// Per-node specification of a list-coloring instance.
+    #[derive(Debug, Clone)]
+    pub struct ListColoringSpec {
+        /// `palettes[v]` — the colour list of node `v`.
+        pub palettes: Vec<Vec<u64>>,
+        /// `active[v]` — the neighbours `v` exchanges messages with (its
+        /// neighbours in the subgraph being coloured).
+        pub active: Vec<Vec<NodeId>>,
+        /// `participating[v]` — whether `v` is to be coloured in this run.
+        pub participating: Vec<bool>,
+    }
+
+    impl ListColoringSpec {
+        /// A spec that colours the whole graph with palette `{0, …, Δ}` —
+        /// the classic (Δ+1)-coloring instance.
+        pub fn delta_plus_one(graph: &Graph) -> Self {
+            let palette: Vec<u64> = (0..=graph.max_degree() as u64).collect();
+            ListColoringSpec {
+                palettes: vec![palette; graph.num_nodes()],
+                active: graph.nodes().map(|v| graph.neighbor_vec(v)).collect(),
+                participating: vec![true; graph.num_nodes()],
+            }
+        }
+
+        fn validate(&self, graph: &Graph) {
+            assert_eq!(self.palettes.len(), graph.num_nodes());
+            assert_eq!(self.active.len(), graph.num_nodes());
+            assert_eq!(self.participating.len(), graph.num_nodes());
+            for v in graph.nodes() {
+                if self.participating[v.index()] {
+                    let active_deg = self.active[v.index()]
+                        .iter()
+                        .filter(|u| self.participating[u.index()])
+                        .count();
+                    assert!(
+                        self.palettes[v.index()].len() > active_deg,
+                        "node {v} has palette of size {} but {} active participating neighbours; \
+                         (deg+1)-list-coloring needs a strictly larger palette",
+                        self.palettes[v.index()].len(),
+                        active_deg
+                    );
+                }
+            }
+        }
+    }
+
+    struct Node {
+        participating: bool,
+        color: Option<u64>,
+        palette: Vec<u64>,
+        active: Vec<NodeId>,
+        candidate: Option<u64>,
+        rng: StdRng,
+    }
+
+    impl Node {
+        fn remove_from_palette(&mut self, c: u64) {
+            if let Some(pos) = self.palette.iter().position(|&x| x == c) {
+                self.palette.swap_remove(pos);
+            }
+        }
+        fn send_all(&self, ctx: &mut RoundContext<'_>, msg: &Message) {
+            for i in 0..self.active.len() {
+                ctx.send(self.active[i], msg.clone());
+            }
+        }
+    }
+
+    impl NodeAlgorithm for Node {
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+            if !self.participating {
+                return;
+            }
+            if ctx.round() % 2 == 0 {
+                // Start of a phase: first digest the FINAL announcements of
+                // the previous phase, then propose a fresh candidate.
+                for msg in inbox {
+                    if msg.tag() == TAG_FINAL {
+                        self.remove_from_palette(msg.values()[0]);
+                    }
+                }
+                if self.color.is_none() {
+                    assert!(
+                        !self.palette.is_empty(),
+                        "palette exhausted — the list-coloring precondition was violated"
+                    );
+                    let idx = self.rng.gen_range(0..self.palette.len());
+                    let c = self.palette[idx];
+                    self.candidate = Some(c);
+                    self.send_all(ctx, &Message::tagged(TAG_PROPOSE).with_value(c));
+                }
+            } else if self.color.is_none() {
+                // Decision: keep the candidate if no neighbour proposed the
+                // same colour this phase (finalised colours were already
+                // removed from the palette, so they cannot be the candidate).
+                let c = self.candidate.expect("a candidate was proposed this phase");
+                let conflict = inbox
+                    .iter()
+                    .any(|m| m.tag() == TAG_PROPOSE && m.values()[0] == c);
+                if !conflict {
+                    self.color = Some(c);
+                    self.send_all(ctx, &Message::tagged(TAG_FINAL).with_value(c));
+                }
+                self.candidate = None;
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            !self.participating || self.color.is_some()
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.color
+        }
+    }
+
+    /// Runs Johansson's list-coloring according to `spec`.
+    ///
+    /// Returns per-node colours (participants only; non-participants are
+    /// `None`) and the execution report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec violates the `(deg+1)`-list-coloring precondition
+    /// (a participant with a palette not larger than its active degree) or if
+    /// the run fails to terminate within the configured round limit.
+    pub fn run(
+        graph: &Graph,
+        ids: &IdAssignment,
+        level: KtLevel,
+        spec: &ListColoringSpec,
+        seed: u64,
+        config: SyncConfig,
+    ) -> (Vec<Option<u64>>, ExecutionReport) {
+        spec.validate(graph);
+        let sim = SyncSimulator::new(graph, ids, level);
+        let report = sim.run(config, |init| {
+            let i = init.node.index();
+            Node {
+                participating: spec.participating[i],
+                color: None,
+                palette: spec.palettes[i].clone(),
+                active: spec.active[i].clone(),
+                candidate: None,
+                rng: StdRng::seed_from_u64(
+                    seed ^ 0x517cc1b727220a95u64.wrapping_mul(i as u64 + 1),
+                ),
+            }
+        });
+        assert!(report.completed, "Johansson list-coloring did not terminate");
+        (report.outputs.clone(), report)
+    }
+}
+
+pub mod baseline {
+    //! The naive Θ(m)-message distributed (Δ+1)-coloring baseline: every node
+    //! talks to *all* of its neighbours in every phase. This is the implicit
+    //! Ω(m) coloring baseline of Figure 1 against which Algorithm 1 and
+    //! Algorithm 2 are compared.
+
+    use symbreak_congest::{ExecutionReport, KtLevel, SyncConfig};
+    use symbreak_graphs::{Graph, IdAssignment};
+
+    use super::johansson::{self, ListColoringSpec};
+
+    /// Runs the baseline and returns `(colors, report)`.
+    pub fn run(
+        graph: &Graph,
+        ids: &IdAssignment,
+        seed: u64,
+        config: SyncConfig,
+    ) -> (Vec<Option<u64>>, ExecutionReport) {
+        let spec = ListColoringSpec::delta_plus_one(graph);
+        johansson::run(graph, ids, KtLevel::KT1, &spec, seed, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use johansson::ListColoringSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symbreak_congest::{KtLevel, SyncConfig};
+    use symbreak_graphs::{generators, IdAssignment, NodeId};
+
+    #[test]
+    fn verify_checks_propriety_and_bounds() {
+        let g = generators::path(3);
+        let good = vec![Some(0), Some(1), Some(0)];
+        let bad = vec![Some(0), Some(0), Some(1)];
+        let partial = vec![Some(0), None, Some(1)];
+        assert!(verify::is_proper_coloring(&g, &good));
+        assert!(!verify::is_proper_coloring(&g, &bad));
+        assert!(!verify::is_proper_coloring(&g, &partial));
+        assert!(verify::uses_colors_below(&good, 2));
+        assert!(!verify::uses_colors_below(&good, 1));
+        assert_eq!(verify::num_colors_used(&good), 2);
+        assert!(verify::respects_lists(&good, &[vec![0], vec![1, 2], vec![0]]));
+        assert!(!verify::respects_lists(&good, &[vec![1], vec![1], vec![0]]));
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper_and_within_delta_plus_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let g = generators::gnp(40, 0.2, &mut rng);
+            let colors = greedy::greedy_coloring(&g);
+            assert!(verify::is_proper_coloring(&g, &colors));
+            assert!(verify::uses_colors_below(&colors, g.max_degree() as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn johansson_colors_whole_graph_properly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [15usize, 30, 60] {
+            let g = generators::connected_gnp(n, 0.2, &mut rng);
+            let ids = IdAssignment::identity(n);
+            let spec = ListColoringSpec::delta_plus_one(&g);
+            let (colors, report) =
+                johansson::run(&g, &ids, KtLevel::KT1, &spec, 5, SyncConfig::default());
+            assert!(verify::is_proper_coloring(&g, &colors), "n={n}");
+            assert!(verify::uses_colors_below(&colors, g.max_degree() as u64 + 1));
+            assert!(report.completed);
+        }
+    }
+
+    #[test]
+    fn johansson_respects_restricted_palettes() {
+        // Colour a cycle with per-node lists {10, 11, 12}.
+        let g = generators::cycle(9);
+        let ids = IdAssignment::identity(9);
+        let lists: Vec<Vec<u64>> = vec![vec![10, 11, 12]; 9];
+        let spec = ListColoringSpec {
+            palettes: lists.clone(),
+            active: g.nodes().map(|v| g.neighbor_vec(v)).collect(),
+            participating: vec![true; 9],
+        };
+        let (colors, _) = johansson::run(&g, &ids, KtLevel::KT1, &spec, 9, SyncConfig::default());
+        assert!(verify::is_proper_coloring(&g, &colors));
+        assert!(verify::respects_lists(&colors, &lists));
+    }
+
+    #[test]
+    fn johansson_only_colors_participants_and_only_uses_active_edges() {
+        let g = generators::clique(10);
+        let ids = IdAssignment::identity(10);
+        // Only even nodes participate, and they only talk to even nodes.
+        let participating: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let active: Vec<Vec<NodeId>> = g
+            .nodes()
+            .map(|v| {
+                g.neighbors(v)
+                    .filter(|u| participating[u.index()] && participating[v.index()])
+                    .collect()
+            })
+            .collect();
+        let palettes: Vec<Vec<u64>> = vec![(0..5).collect(); 10];
+        let spec = ListColoringSpec {
+            palettes,
+            active,
+            participating: participating.clone(),
+        };
+        let (colors, report) =
+            johansson::run(&g, &ids, KtLevel::KT1, &spec, 3, SyncConfig::default());
+        for v in g.nodes() {
+            assert_eq!(colors[v.index()].is_some(), participating[v.index()]);
+        }
+        // The induced subgraph on the 5 even nodes is a K5: check propriety.
+        for (_, u, v) in g.edges() {
+            if participating[u.index()] && participating[v.index()] {
+                assert_ne!(colors[u.index()], colors[v.index()]);
+            }
+        }
+        // Only the 5·4 = 20 directed pairs among participants ever exchange
+        // messages, and each exchanges O(1) per phase.
+        assert!(report.messages <= 20 * 2 * report.rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly larger palette")]
+    fn johansson_rejects_too_small_palettes() {
+        let g = generators::clique(4);
+        let ids = IdAssignment::identity(4);
+        let spec = ListColoringSpec {
+            palettes: vec![vec![0, 1]; 4],
+            active: g.nodes().map(|v| g.neighbor_vec(v)).collect(),
+            participating: vec![true; 4],
+        };
+        let _ = johansson::run(&g, &ids, KtLevel::KT1, &spec, 1, SyncConfig::default());
+    }
+
+    #[test]
+    fn baseline_uses_order_m_messages() {
+        let g = generators::clique(20);
+        let ids = IdAssignment::identity(20);
+        let (colors, report) = baseline::run(&g, &ids, 17, SyncConfig::default());
+        assert!(verify::is_proper_coloring(&g, &colors));
+        assert!(report.messages as usize >= g.num_edges());
+    }
+
+    #[test]
+    fn coloring_on_edgeless_graph() {
+        let g = generators::empty(4);
+        let ids = IdAssignment::identity(4);
+        let (colors, report) = baseline::run(&g, &ids, 1, SyncConfig::default());
+        assert!(verify::is_proper_coloring(&g, &colors));
+        assert_eq!(report.messages, 0);
+    }
+}

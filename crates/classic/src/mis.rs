@@ -1,0 +1,509 @@
+//! Maximal-independent-set algorithms: verification, sequential greedy,
+//! parallel randomized greedy and Luby's algorithm.
+
+pub mod verify {
+    //! MIS solution checkers.
+
+    use symbreak_graphs::Graph;
+
+    /// Whether `in_set` (indexed by node) is an independent set of `graph`.
+    pub fn is_independent_set(graph: &Graph, in_set: &[bool]) -> bool {
+        assert_eq!(in_set.len(), graph.num_nodes(), "one flag per node required");
+        graph
+            .edges()
+            .all(|(_, u, v)| !(in_set[u.index()] && in_set[v.index()]))
+    }
+
+    /// Whether `in_set` is maximal: every node outside the set has a
+    /// neighbour inside it.
+    pub fn is_maximal(graph: &Graph, in_set: &[bool]) -> bool {
+        assert_eq!(in_set.len(), graph.num_nodes(), "one flag per node required");
+        graph.nodes().all(|v| {
+            in_set[v.index()] || graph.neighbors(v).any(|u| in_set[u.index()])
+        })
+    }
+
+    /// Whether `in_set` is a maximal independent set.
+    pub fn is_mis(graph: &Graph, in_set: &[bool]) -> bool {
+        is_independent_set(graph, in_set) && is_maximal(graph, in_set)
+    }
+
+    /// Converts simulator outputs (`Some(1)` = in MIS) to membership flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node produced no output.
+    pub fn outputs_to_membership(outputs: &[Option<u64>]) -> Vec<bool> {
+        outputs
+            .iter()
+            .map(|o| o.expect("every node must decide") == 1)
+            .collect()
+    }
+}
+
+pub mod greedy {
+    //! Sequential (randomized) greedy MIS — the reference implementation that
+    //! the parallel variant must agree with (Blelloch, Fineman, Shun).
+
+    use rand::Rng;
+    use symbreak_graphs::{Graph, NodeId};
+
+    /// Greedy MIS processing nodes in the order given by `ranks` (ascending;
+    /// ties broken by node index). A node joins iff none of its already
+    /// processed neighbours joined.
+    pub fn greedy_mis_by_rank(graph: &Graph, ranks: &[u64]) -> Vec<bool> {
+        assert_eq!(ranks.len(), graph.num_nodes(), "one rank per node required");
+        let mut order: Vec<NodeId> = graph.nodes().collect();
+        order.sort_by_key(|&v| (ranks[v.index()], v));
+        let mut in_set = vec![false; graph.num_nodes()];
+        for &v in &order {
+            if !graph.neighbors(v).any(|u| in_set[u.index()]) {
+                in_set[v.index()] = true;
+            }
+        }
+        in_set
+    }
+
+    /// Randomized greedy MIS: uniformly random processing order.
+    pub fn randomized_greedy_mis<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Vec<bool> {
+        let ranks: Vec<u64> = (0..graph.num_nodes()).map(|_| rng.gen()).collect();
+        greedy_mis_by_rank(graph, &ranks)
+    }
+
+    /// Greedy MIS restricted to the sub-universe `members`: nodes outside
+    /// `members` never join and do not block anyone. This is "running the
+    /// sequential randomized greedy algorithm for |S| iterations" in Step 2
+    /// of Algorithm 3.
+    pub fn greedy_mis_on_subset(graph: &Graph, members: &[bool], ranks: &[u64]) -> Vec<bool> {
+        assert_eq!(members.len(), graph.num_nodes());
+        assert_eq!(ranks.len(), graph.num_nodes());
+        let mut order: Vec<NodeId> = graph.nodes().filter(|v| members[v.index()]).collect();
+        order.sort_by_key(|&v| (ranks[v.index()], v));
+        let mut in_set = vec![false; graph.num_nodes()];
+        for &v in &order {
+            if !graph.neighbors(v).any(|u| in_set[u.index()]) {
+                in_set[v.index()] = true;
+            }
+        }
+        in_set
+    }
+}
+
+pub mod parallel_greedy {
+    //! Parallel rank-based greedy MIS as a CONGEST automaton.
+    //!
+    //! Each participating node holds a rank; in every phase, an undecided
+    //! node whose rank is a local minimum among its undecided participating
+    //! neighbours joins the MIS and announces it. This computes exactly the
+    //! same MIS as the sequential greedy algorithm on the same ranks
+    //! (Blelloch et al.), and finishes in `O(log n)` phases w.h.p.
+    //! (Fischer–Noever).
+
+    use symbreak_congest::{
+        ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
+    };
+    use symbreak_graphs::{Graph, IdAssignment, NodeId};
+
+    const TAG_RANK: u16 = 0x20;
+    const TAG_JOIN: u16 = 0x21;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum State {
+        Undecided,
+        In,
+        Out,
+        NotParticipating,
+    }
+
+    struct Node {
+        state: State,
+        rank: u64,
+        active: Vec<NodeId>,
+    }
+
+    impl NodeAlgorithm for Node {
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+            if self.state == State::NotParticipating {
+                return;
+            }
+            if ctx.round() % 2 == 0 {
+                // Process JOIN announcements from the previous phase, then
+                // (if still undecided) announce our rank.
+                if self.state == State::Undecided
+                    && inbox.iter().any(|m| m.tag() == TAG_JOIN)
+                {
+                    self.state = State::Out;
+                }
+                if self.state == State::Undecided {
+                    let msg = Message::tagged(TAG_RANK).with_value(self.rank);
+                    for i in 0..self.active.len() {
+                        ctx.send(self.active[i], msg.clone());
+                    }
+                }
+            } else if self.state == State::Undecided {
+                let min_neighbor_rank = inbox
+                    .iter()
+                    .filter(|m| m.tag() == TAG_RANK)
+                    .map(|m| m.values()[0])
+                    .min();
+                let is_local_min = match min_neighbor_rank {
+                    None => true,
+                    Some(r) => self.rank < r,
+                };
+                if is_local_min {
+                    self.state = State::In;
+                    let msg = Message::tagged(TAG_JOIN);
+                    for i in 0..self.active.len() {
+                        ctx.send(self.active[i], msg.clone());
+                    }
+                }
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.state != State::Undecided
+        }
+
+        fn output(&self) -> Option<u64> {
+            match self.state {
+                State::In => Some(1),
+                State::Out | State::NotParticipating => Some(0),
+                State::Undecided => None,
+            }
+        }
+    }
+
+    /// Runs parallel greedy MIS over the participating nodes.
+    ///
+    /// * `participating[v]` — whether `v` takes part (e.g. membership in the
+    ///   sampled set `S` of Algorithm 3); non-participants output 0.
+    /// * `ranks[v]` — the node's rank (must be distinct among participants).
+    /// * `active[v]` — the participating neighbours of `v` it communicates
+    ///   with (normally its participating neighbours in `graph`).
+    ///
+    /// Returns the per-node MIS membership and the execution report.
+    pub fn run(
+        graph: &Graph,
+        ids: &IdAssignment,
+        level: KtLevel,
+        participating: &[bool],
+        ranks: &[u64],
+        active: &[Vec<NodeId>],
+        config: SyncConfig,
+    ) -> (Vec<bool>, ExecutionReport) {
+        assert_eq!(participating.len(), graph.num_nodes());
+        assert_eq!(ranks.len(), graph.num_nodes());
+        assert_eq!(active.len(), graph.num_nodes());
+        let sim = SyncSimulator::new(graph, ids, level);
+        let report = sim.run(config, |init| {
+            let i = init.node.index();
+            Node {
+                state: if participating[i] {
+                    State::Undecided
+                } else {
+                    State::NotParticipating
+                },
+                rank: ranks[i],
+                active: active[i].clone(),
+            }
+        });
+        assert!(report.completed, "parallel greedy MIS did not terminate");
+        let membership = report
+            .outputs
+            .iter()
+            .map(|o| o.expect("participants decided") == 1)
+            .collect();
+        (membership, report)
+    }
+
+    /// Convenience: run on all nodes of the graph with the given ranks; the
+    /// active lists are the full neighbour lists.
+    pub fn run_on_whole_graph(
+        graph: &Graph,
+        ids: &IdAssignment,
+        ranks: &[u64],
+        config: SyncConfig,
+    ) -> (Vec<bool>, ExecutionReport) {
+        let participating = vec![true; graph.num_nodes()];
+        let active: Vec<Vec<NodeId>> = graph.nodes().map(|v| graph.neighbor_vec(v)).collect();
+        run(
+            graph,
+            ids,
+            KtLevel::KT1,
+            &participating,
+            ranks,
+            &active,
+            config,
+        )
+    }
+}
+
+pub mod luby {
+    //! Luby's randomized MIS algorithm — the Õ(m)-message KT-1 baseline.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use symbreak_congest::{
+        ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
+    };
+    use symbreak_graphs::{Graph, IdAssignment, NodeId};
+
+    const TAG_VALUE: u16 = 0x30;
+    const TAG_JOIN: u16 = 0x31;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum State {
+        Undecided,
+        In,
+        Out,
+        NotParticipating,
+    }
+
+    struct Node {
+        state: State,
+        rng: StdRng,
+        current: u64,
+        active: Vec<NodeId>,
+    }
+
+    impl NodeAlgorithm for Node {
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+            if self.state == State::NotParticipating {
+                return;
+            }
+            if ctx.round() % 2 == 0 {
+                if self.state == State::Undecided
+                    && inbox.iter().any(|m| m.tag() == TAG_JOIN)
+                {
+                    self.state = State::Out;
+                }
+                if self.state == State::Undecided {
+                    self.current = self.rng.gen();
+                    let msg = Message::tagged(TAG_VALUE).with_value(self.current);
+                    for i in 0..self.active.len() {
+                        ctx.send(self.active[i], msg.clone());
+                    }
+                }
+            } else if self.state == State::Undecided {
+                let max_neighbor = inbox
+                    .iter()
+                    .filter(|m| m.tag() == TAG_VALUE)
+                    .map(|m| m.values()[0])
+                    .max();
+                let wins = match max_neighbor {
+                    None => true,
+                    Some(v) => self.current > v,
+                };
+                if wins {
+                    self.state = State::In;
+                    let msg = Message::tagged(TAG_JOIN);
+                    for i in 0..self.active.len() {
+                        ctx.send(self.active[i], msg.clone());
+                    }
+                }
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.state != State::Undecided
+        }
+
+        fn output(&self) -> Option<u64> {
+            match self.state {
+                State::In => Some(1),
+                State::Out | State::NotParticipating => Some(0),
+                State::Undecided => None,
+            }
+        }
+    }
+
+    /// Runs Luby's algorithm restricted to the nodes with
+    /// `participating[v] = true`, communicating over the `active[v]` lists.
+    pub fn run_restricted(
+        graph: &Graph,
+        ids: &IdAssignment,
+        level: KtLevel,
+        participating: &[bool],
+        active: &[Vec<NodeId>],
+        seed: u64,
+        config: SyncConfig,
+    ) -> (Vec<bool>, ExecutionReport) {
+        assert_eq!(participating.len(), graph.num_nodes());
+        assert_eq!(active.len(), graph.num_nodes());
+        let sim = SyncSimulator::new(graph, ids, level);
+        let report = sim.run(config, |init| {
+            let i = init.node.index();
+            Node {
+                state: if participating[i] {
+                    State::Undecided
+                } else {
+                    State::NotParticipating
+                },
+                rng: StdRng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1))),
+                current: 0,
+                active: active[i].clone(),
+            }
+        });
+        assert!(report.completed, "Luby's algorithm did not terminate");
+        let membership = report
+            .outputs
+            .iter()
+            .map(|o| o.expect("all nodes decided") == 1)
+            .collect();
+        (membership, report)
+    }
+
+    /// Runs Luby's algorithm on the whole graph (the Figure-1 MIS baseline).
+    pub fn run(
+        graph: &Graph,
+        ids: &IdAssignment,
+        seed: u64,
+        config: SyncConfig,
+    ) -> (Vec<bool>, ExecutionReport) {
+        let participating = vec![true; graph.num_nodes()];
+        let active: Vec<Vec<NodeId>> = graph.nodes().map(|v| graph.neighbor_vec(v)).collect();
+        run_restricted(
+            graph,
+            ids,
+            KtLevel::KT1,
+            &participating,
+            &active,
+            seed,
+            config,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symbreak_congest::SyncConfig;
+    use symbreak_graphs::{generators, IdAssignment, NodeId};
+
+    #[test]
+    fn verify_detects_non_independence_and_non_maximality() {
+        let g = generators::path(3);
+        assert!(verify::is_mis(&g, &[true, false, true]));
+        assert!(verify::is_mis(&g, &[false, true, false]));
+        assert!(!verify::is_independent_set(&g, &[true, true, false]));
+        assert!(!verify::is_maximal(&g, &[true, false, false]));
+        assert!(!verify::is_mis(&g, &[false, false, false]));
+    }
+
+    #[test]
+    fn greedy_mis_is_valid_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..5 {
+            let g = generators::gnp(40, 0.15, &mut rng);
+            let mis = greedy::randomized_greedy_mis(&g, &mut rng);
+            assert!(verify::is_mis(&g, &mis));
+        }
+    }
+
+    #[test]
+    fn greedy_rank_order_determines_output() {
+        let g = generators::path(3);
+        // Rank order 1 < 0 < 2: node 1 joins first, blocking 0 and 2? No:
+        // node 2 is not adjacent to 1? It is (path 0-1-2). So MIS = {1}.
+        let mis = greedy::greedy_mis_by_rank(&g, &[5, 1, 9]);
+        assert_eq!(mis, vec![false, true, false]);
+    }
+
+    #[test]
+    fn greedy_on_subset_only_selects_members() {
+        let g = generators::clique(6);
+        let members = vec![true, false, true, false, true, false];
+        let ranks = vec![3, 0, 1, 0, 2, 0];
+        let mis = greedy::greedy_mis_on_subset(&g, &members, &ranks);
+        // In a clique only the best-ranked member joins.
+        assert_eq!(mis.iter().filter(|&&b| b).count(), 1);
+        assert!(mis[2]);
+        for v in [1usize, 3, 5] {
+            assert!(!mis[v]);
+        }
+    }
+
+    #[test]
+    fn parallel_greedy_matches_sequential_greedy() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for trial in 0..5 {
+            let g = generators::connected_gnp(30, 0.2, &mut rng);
+            let ids = IdAssignment::identity(30);
+            let ranks: Vec<u64> = (0..30).map(|i| (i as u64 * 7919 + trial) % 1000 + 1).collect();
+            let sequential = greedy::greedy_mis_by_rank(&g, &ranks);
+            let (parallel, report) =
+                parallel_greedy::run_on_whole_graph(&g, &ids, &ranks, SyncConfig::default());
+            assert_eq!(parallel, sequential, "trial {trial}");
+            assert!(verify::is_mis(&g, &parallel));
+            assert!(report.messages > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_greedy_respects_participation() {
+        let g = generators::clique(8);
+        let ids = IdAssignment::identity(8);
+        let participating: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        let ranks: Vec<u64> = (0..8).map(|i| 100 - i as u64).collect();
+        let active: Vec<Vec<NodeId>> = g
+            .nodes()
+            .map(|v| {
+                g.neighbors(v)
+                    .filter(|u| participating[u.index()])
+                    .collect()
+            })
+            .collect();
+        let (mis, _) = parallel_greedy::run(
+            &g,
+            &ids,
+            symbreak_congest::KtLevel::KT1,
+            &participating,
+            &ranks,
+            &active,
+            SyncConfig::default(),
+        );
+        // Non-participants never join; exactly one participant joins (clique).
+        assert!(mis.iter().zip(&participating).all(|(&m, &p)| p || !m));
+        assert_eq!(mis.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn luby_computes_a_valid_mis() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for n in [10usize, 25, 50] {
+            let g = generators::connected_gnp(n, 0.2, &mut rng);
+            let ids = IdAssignment::identity(n);
+            let (mis, report) = luby::run(&g, &ids, 7, SyncConfig::default());
+            assert!(verify::is_mis(&g, &mis), "n={n}");
+            assert!(report.completed);
+        }
+    }
+
+    #[test]
+    fn luby_message_count_scales_with_edges() {
+        // The baseline sends Θ(m) messages per phase — on a clique this is
+        // far more than n^1.5, which is exactly why the paper's algorithms
+        // avoid it.
+        let g = generators::clique(40);
+        let ids = IdAssignment::identity(40);
+        let (mis, report) = luby::run(&g, &ids, 11, SyncConfig::default());
+        assert!(verify::is_mis(&g, &mis));
+        assert!(report.messages as usize >= g.num_edges());
+    }
+
+    #[test]
+    fn luby_on_edgeless_graph_selects_everyone() {
+        let g = generators::empty(5);
+        let ids = IdAssignment::identity(5);
+        let (mis, _) = luby::run(&g, &ids, 3, SyncConfig::default());
+        assert_eq!(mis, vec![true; 5]);
+    }
+
+    #[test]
+    fn outputs_to_membership_maps_correctly() {
+        let outputs = vec![Some(1), Some(0), Some(1)];
+        assert_eq!(verify::outputs_to_membership(&outputs), vec![true, false, true]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Asynchrony: a randomized-delay executor and α-synchronizer accounting.
+//!
+//! The paper's asynchronous results (Theorem 3.4) rely on two ingredients:
+//! an asynchronous broadcast substrate (Theorem 1.3, provided by
+//! `symbreak-danner`) and Awerbuch's α-synchronizer (Theorem A.5), which
+//! simulates a `T`-round synchronous algorithm asynchronously at an extra
+//! cost of at most `2(T + 1)·m'` messages, where `m'` is the number of edges
+//! of the (sub)graph the algorithm runs on.
+//!
+//! This module provides both the accounting function for that overhead and a
+//! randomized-delay executor that runs [`NodeAlgorithm`] automata under
+//! adversarial-ish message delays, so that delay-insensitive algorithms can
+//! be checked to still produce correct outputs.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use symbreak_graphs::{Graph, IdAssignment, NodeId};
+
+use crate::model::DEFAULT_MESSAGE_BITS;
+use crate::{KnowledgeView, KtLevel, Message, NodeAlgorithm, NodeInit, RoundContext};
+
+/// Extra messages incurred by running a `rounds`-round synchronous algorithm
+/// through an α-synchronizer on a subgraph with `active_edges` edges
+/// (Theorem A.5): at most `2 (rounds + 1) · active_edges`.
+pub fn alpha_synchronizer_overhead(rounds: u64, active_edges: u64) -> u64 {
+    2 * (rounds + 1) * active_edges
+}
+
+/// Cost of an asynchronous simulation derived from a synchronous execution:
+/// the original messages plus the α-synchronizer overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsyncCostEstimate {
+    /// Messages of the synchronous execution.
+    pub base_messages: u64,
+    /// Additional synchronizer messages.
+    pub synchronizer_messages: u64,
+    /// Rounds (time units) of the asynchronous execution; the α-synchronizer
+    /// preserves the round count.
+    pub rounds: u64,
+}
+
+impl AsyncCostEstimate {
+    /// Builds the estimate from a synchronous cost.
+    pub fn from_sync(messages: u64, rounds: u64, active_edges: u64) -> Self {
+        AsyncCostEstimate {
+            base_messages: messages,
+            synchronizer_messages: alpha_synchronizer_overhead(rounds, active_edges),
+            rounds,
+        }
+    }
+
+    /// Total messages of the asynchronous execution.
+    pub fn total_messages(&self) -> u64 {
+        self.base_messages + self.synchronizer_messages
+    }
+}
+
+/// Configuration of the randomized-delay executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsyncConfig {
+    /// Maximum (inclusive) delivery delay of a message, in time units.
+    pub max_delay: u64,
+    /// Abort after this many time units.
+    pub max_time: u64,
+    /// Per-message size budget in bits.
+    pub message_bit_limit: u32,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            max_delay: 5,
+            max_time: 1_000_000,
+            message_bit_limit: DEFAULT_MESSAGE_BITS,
+        }
+    }
+}
+
+/// Outcome of an asynchronous run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsyncReport {
+    /// Whether every node terminated before the time limit.
+    pub completed: bool,
+    /// Total simulated time units until quiescence.
+    pub time: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Final per-node outputs.
+    pub outputs: Vec<Option<u64>>,
+}
+
+/// An event-driven executor that delivers each message after a random delay
+/// of `1..=max_delay` time units. Nodes are activated at time 0 and then
+/// whenever a batch of messages is delivered to them.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncSimulator<'g> {
+    graph: &'g Graph,
+    ids: &'g IdAssignment,
+    level: KtLevel,
+}
+
+impl<'g> AsyncSimulator<'g> {
+    /// Creates an asynchronous simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ID assignment does not match the graph.
+    pub fn new(graph: &'g Graph, ids: &'g IdAssignment, level: KtLevel) -> Self {
+        assert_eq!(
+            ids.len(),
+            graph.num_nodes(),
+            "ID assignment does not match the graph"
+        );
+        AsyncSimulator { graph, ids, level }
+    }
+
+    /// Runs the node algorithms under random message delays drawn from `rng`.
+    pub fn run<A, F, R>(&self, config: AsyncConfig, rng: &mut R, mut make: F) -> AsyncReport
+    where
+        A: NodeAlgorithm,
+        F: FnMut(NodeInit<'_>) -> A,
+        R: Rng + ?Sized,
+    {
+        let n = self.graph.num_nodes();
+        let neighbor_lists: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| self.graph.neighbor_vec(NodeId(i as u32)))
+            .collect();
+        let mut nodes: Vec<A> = (0..n)
+            .map(|i| {
+                let v = NodeId(i as u32);
+                make(NodeInit {
+                    node: v,
+                    num_nodes: n,
+                    knowledge: KnowledgeView::new(self.graph, self.ids, self.level, v),
+                })
+            })
+            .collect();
+
+        // pending[t % window][v] = messages arriving at node v at time t.
+        let window = (config.max_delay + 1) as usize;
+        let mut pending: Vec<Vec<Vec<Message>>> = vec![vec![Vec::new(); n]; window];
+        let mut in_flight: u64 = 0;
+        let mut messages: u64 = 0;
+        let mut time: u64 = 0;
+        let mut completed = false;
+        // Activation counter per node: how many times each node has been
+        // activated (used as its local "round" number).
+        let mut activations: Vec<u64> = vec![0; n];
+
+        loop {
+            if time > 0 && in_flight == 0 && nodes.iter().all(NodeAlgorithm::is_done) {
+                completed = true;
+                break;
+            }
+            if time >= config.max_time {
+                break;
+            }
+
+            let slot = (time % window as u64) as usize;
+            let mut outgoing: Vec<(NodeId, NodeId, Message)> = Vec::new();
+            for i in 0..n {
+                let inbox = std::mem::take(&mut pending[slot][i]);
+                let activate = time == 0 || !inbox.is_empty();
+                if !activate {
+                    continue;
+                }
+                in_flight -= inbox.len() as u64;
+                let v = NodeId(i as u32);
+                let knowledge = KnowledgeView::new(self.graph, self.ids, self.level, v);
+                let mut ctx =
+                    RoundContext::new(v, activations[i], knowledge, &neighbor_lists[i]);
+                nodes[i].on_round(&mut ctx, &inbox);
+                activations[i] += 1;
+                for (to, msg) in ctx.take_outbox() {
+                    assert!(
+                        msg.size_bits() <= config.message_bit_limit,
+                        "node {v} sent a message exceeding the CONGEST budget"
+                    );
+                    outgoing.push((v, to, msg));
+                }
+            }
+            for (_from, to, msg) in outgoing {
+                let delay = rng.gen_range(1..=config.max_delay);
+                let arrival = ((time + delay) % window as u64) as usize;
+                pending[arrival][to.index()].push(msg);
+                messages += 1;
+                in_flight += 1;
+            }
+            time += 1;
+        }
+
+        AsyncReport {
+            completed,
+            time,
+            messages,
+            outputs: nodes.iter().map(NodeAlgorithm::output).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symbreak_graphs::generators;
+
+    #[test]
+    fn synchronizer_overhead_formula() {
+        assert_eq!(alpha_synchronizer_overhead(0, 10), 20);
+        assert_eq!(alpha_synchronizer_overhead(9, 100), 2000);
+    }
+
+    #[test]
+    fn async_estimate_totals() {
+        let est = AsyncCostEstimate::from_sync(50, 4, 10);
+        assert_eq!(est.synchronizer_messages, 100);
+        assert_eq!(est.total_messages(), 150);
+        assert_eq!(est.rounds, 4);
+    }
+
+    /// Asynchronous flooding: forward the token the first time it arrives.
+    struct Flood {
+        have: bool,
+    }
+    impl NodeAlgorithm for Flood {
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+            let start = ctx.node() == NodeId(0) && !self.have && ctx.round() == 0;
+            let received = !inbox.is_empty();
+            if (start || received) && !self.have {
+                self.have = true;
+                ctx.broadcast(&Message::tagged(1));
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+        fn output(&self) -> Option<u64> {
+            Some(u64::from(self.have))
+        }
+    }
+
+    #[test]
+    fn async_flood_reaches_everyone() {
+        let g = generators::connected_gnp(30, 0.1, &mut StdRng::seed_from_u64(4));
+        let ids = IdAssignment::identity(30);
+        let sim = AsyncSimulator::new(&g, &ids, KtLevel::KT1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = sim.run(AsyncConfig::default(), &mut rng, |_| Flood { have: false });
+        assert!(report.completed);
+        assert!(report.outputs.iter().all(|o| *o == Some(1)));
+        assert!(report.messages >= 2 * (g.num_nodes() as u64 - 1));
+        assert!(report.time > 0);
+    }
+
+    #[test]
+    fn async_run_respects_time_limit() {
+        struct Chatter;
+        impl NodeAlgorithm for Chatter {
+            fn on_round(&mut self, ctx: &mut RoundContext<'_>, _inbox: &[Message]) {
+                ctx.broadcast(&Message::tagged(0));
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::cycle(4);
+        let ids = IdAssignment::identity(4);
+        let sim = AsyncSimulator::new(&g, &ids, KtLevel::KT1);
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = AsyncConfig {
+            max_time: 20,
+            ..AsyncConfig::default()
+        };
+        let report = sim.run(config, &mut rng, |_| Chatter);
+        assert!(!report.completed);
+        assert_eq!(report.time, 20);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for simulator-level failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the CONGEST simulators.
+///
+/// Programming errors inside node algorithms (sending to a non-neighbour,
+/// overflowing the message budget, querying knowledge outside the permitted
+/// radius) are reported by panicking with a descriptive message, because they
+/// indicate a bug in the algorithm rather than a recoverable condition. This
+/// error type covers run-level conditions a caller may legitimately want to
+/// handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The run hit the configured round limit before all nodes terminated.
+    RoundLimitExceeded {
+        /// The configured maximum number of rounds.
+        limit: u64,
+    },
+    /// The provided ID assignment does not cover every node of the graph.
+    IdAssignmentMismatch {
+        /// Number of nodes in the graph.
+        graph_nodes: usize,
+        /// Number of nodes covered by the assignment.
+        id_nodes: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the round limit of {limit}")
+            }
+            SimError::IdAssignmentMismatch { graph_nodes, id_nodes } => write!(
+                f,
+                "ID assignment covers {id_nodes} nodes but the graph has {graph_nodes}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::RoundLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("round limit"));
+        let e = SimError::IdAssignmentMismatch { graph_nodes: 5, id_nodes: 3 };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync>() {}
+        assert_error::<SimError>();
+    }
+}

@@ -1,0 +1,184 @@
+//! The node-algorithm trait and the per-round execution context.
+
+use symbreak_graphs::NodeId;
+
+use crate::{KnowledgeView, Message};
+
+/// Everything a node is given when it is created, before round 0.
+///
+/// The factory passed to [`crate::SyncSimulator::run`] receives one
+/// `NodeInit` per node and returns that node's algorithm state. Algorithms
+/// should copy whatever initial knowledge they need into their own state —
+/// the view is only borrowed for the duration of the call.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeInit<'a> {
+    /// The node's simulator address.
+    pub node: NodeId,
+    /// Number of nodes in the network.
+    pub num_nodes: usize,
+    /// The node's KT-ρ initial knowledge.
+    pub knowledge: KnowledgeView<'a>,
+}
+
+/// The context handed to a node on every round.
+///
+/// It exposes the node's initial knowledge, the current round number and the
+/// outgoing-message buffer. Sending is only permitted to direct neighbours,
+/// as in the CONGEST model.
+#[derive(Debug)]
+pub struct RoundContext<'a> {
+    node: NodeId,
+    round: u64,
+    knowledge: KnowledgeView<'a>,
+    neighbors: &'a [NodeId],
+    outbox: Vec<(NodeId, Message)>,
+}
+
+impl<'a> RoundContext<'a> {
+    pub(crate) fn new(
+        node: NodeId,
+        round: u64,
+        knowledge: KnowledgeView<'a>,
+        neighbors: &'a [NodeId],
+    ) -> Self {
+        RoundContext {
+            node,
+            round,
+            knowledge,
+            neighbors,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// This node's simulator address.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round number (0-based).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of nodes in the network.
+    pub fn num_nodes(&self) -> usize {
+        self.knowledge.num_nodes()
+    }
+
+    /// This node's KT-ρ initial knowledge.
+    pub fn knowledge(&self) -> &KnowledgeView<'a> {
+        &self.knowledge
+    }
+
+    /// This node's own ID.
+    pub fn own_id(&self) -> u64 {
+        self.knowledge.own_id()
+    }
+
+    /// The node's neighbours (simulator addresses), sorted.
+    pub fn neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors.iter().copied()
+    }
+
+    /// The node's degree.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Queues `message` for delivery to neighbour `to` at the start of the
+    /// next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbour of this node — CONGEST only allows
+    /// communication along edges of the input graph.
+    pub fn send(&mut self, to: NodeId, message: Message) {
+        assert!(
+            self.neighbors.binary_search(&to).is_ok(),
+            "node {} attempted to send to non-neighbour {}",
+            self.node,
+            to
+        );
+        self.outbox.push((to, message));
+    }
+
+    /// Sends a copy of `message` to every neighbour.
+    pub fn broadcast(&mut self, message: &Message) {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            self.outbox.push((to, message.clone()));
+        }
+    }
+
+    pub(crate) fn take_outbox(self) -> Vec<(NodeId, Message)> {
+        self.outbox
+    }
+}
+
+/// A per-node automaton executed by the simulators.
+///
+/// The simulator calls [`NodeAlgorithm::on_round`] once per round; in round 0
+/// the inbox is empty and the call plays the role of initialisation. The run
+/// terminates once every node reports [`NodeAlgorithm::is_done`] and no
+/// messages are in flight.
+pub trait NodeAlgorithm {
+    /// Executes one round: read `inbox` (messages delivered this round), do
+    /// local computation, and queue outgoing messages on `ctx`.
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]);
+
+    /// Whether this node has terminated. A done node is still invoked if new
+    /// messages arrive for it.
+    fn is_done(&self) -> bool;
+
+    /// The node's output (colour, MIS membership, …) once the run completes.
+    fn output(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KtLevel;
+    use symbreak_graphs::{generators, IdAssignment};
+
+    #[test]
+    fn send_to_neighbor_is_queued() {
+        let g = generators::path(3);
+        let ids = IdAssignment::identity(3);
+        let k = KnowledgeView::new(&g, &ids, KtLevel::KT1, NodeId(1));
+        let nbrs = vec![NodeId(0), NodeId(2)];
+        let mut ctx = RoundContext::new(NodeId(1), 0, k, &nbrs);
+        ctx.send(NodeId(0), Message::tagged(1));
+        ctx.broadcast(&Message::tagged(2));
+        let out = ctx.take_outbox();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0, NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbour")]
+    fn send_to_non_neighbor_panics() {
+        let g = generators::path(3);
+        let ids = IdAssignment::identity(3);
+        let k = KnowledgeView::new(&g, &ids, KtLevel::KT1, NodeId(0));
+        let nbrs = vec![NodeId(1)];
+        let mut ctx = RoundContext::new(NodeId(0), 0, k, &nbrs);
+        ctx.send(NodeId(2), Message::tagged(1));
+    }
+
+    #[test]
+    fn context_accessors() {
+        let g = generators::star(4);
+        let ids = IdAssignment::from_vec(vec![9, 8, 7, 6]);
+        let k = KnowledgeView::new(&g, &ids, KtLevel::KT1, NodeId(0));
+        let nbrs: Vec<NodeId> = g.neighbor_vec(NodeId(0));
+        let ctx = RoundContext::new(NodeId(0), 5, k, &nbrs);
+        assert_eq!(ctx.node(), NodeId(0));
+        assert_eq!(ctx.round(), 5);
+        assert_eq!(ctx.num_nodes(), 4);
+        assert_eq!(ctx.own_id(), 9);
+        assert_eq!(ctx.degree(), 3);
+        assert_eq!(ctx.neighbors().count(), 3);
+    }
+}

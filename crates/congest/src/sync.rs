@@ -1,0 +1,454 @@
+//! The synchronous round-driven CONGEST simulator.
+
+use serde::{Deserialize, Serialize};
+use symbreak_graphs::{EdgeId, Graph, IdAssignment, NodeId};
+
+use crate::model::DEFAULT_MESSAGE_BITS;
+use crate::trace::{Trace, TraceMessage};
+use crate::{KnowledgeView, KtLevel, Message, NodeAlgorithm, NodeInit, RoundContext, SimError};
+
+/// Configuration of a synchronous run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncConfig {
+    /// Abort (with `completed = false`) after this many rounds.
+    pub max_rounds: u64,
+    /// Per-message size budget in bits (see [`crate::Message::size_bits`]).
+    pub message_bit_limit: u32,
+    /// Record the full message trace (needed by the lower-bound experiments;
+    /// costs memory proportional to the number of messages).
+    pub record_trace: bool,
+    /// Track which edges are *utilized* in the sense of Definition 2.3.
+    pub track_utilization: bool,
+    /// Track per-edge message counts.
+    pub track_per_edge: bool,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig {
+            max_rounds: 1_000_000,
+            message_bit_limit: DEFAULT_MESSAGE_BITS,
+            record_trace: false,
+            track_utilization: false,
+            track_per_edge: false,
+        }
+    }
+}
+
+impl SyncConfig {
+    /// Configuration with full instrumentation (trace + utilization +
+    /// per-edge counters); used by the lower-bound experiments.
+    pub fn instrumented() -> Self {
+        SyncConfig {
+            record_trace: true,
+            track_utilization: true,
+            track_per_edge: true,
+            ..SyncConfig::default()
+        }
+    }
+
+    /// Sets the round limit.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+}
+
+/// Outcome of a synchronous run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Whether every node terminated before the round limit.
+    pub completed: bool,
+    /// Number of executed rounds.
+    pub rounds: u64,
+    /// Total number of messages sent.
+    pub messages: u64,
+    /// The largest message observed, in bits.
+    pub max_message_bits: u32,
+    /// Final per-node outputs.
+    pub outputs: Vec<Option<u64>>,
+    /// Per-edge message counts (if requested).
+    pub per_edge_messages: Option<Vec<u64>>,
+    /// Utilized-edge flags (if requested), indexed by [`EdgeId`].
+    pub utilized_edges: Option<Vec<bool>>,
+    /// The full message trace (if requested).
+    pub trace: Option<Trace>,
+}
+
+impl ExecutionReport {
+    /// Number of utilized edges (Definition 2.3), if tracked.
+    pub fn utilized_edge_count(&self) -> Option<usize> {
+        self.utilized_edges
+            .as_ref()
+            .map(|u| u.iter().filter(|&&b| b).count())
+    }
+
+    /// Whether a particular edge was utilized, if tracked.
+    pub fn is_utilized(&self, e: EdgeId) -> Option<bool> {
+        self.utilized_edges.as_ref().map(|u| u[e.index()])
+    }
+}
+
+/// The synchronous simulator: a graph, an ID assignment and a KT level.
+///
+/// See the crate-level documentation for a full example.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncSimulator<'g> {
+    graph: &'g Graph,
+    ids: &'g IdAssignment,
+    level: KtLevel,
+}
+
+impl<'g> SyncSimulator<'g> {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ID assignment does not cover exactly the graph's nodes;
+    /// use [`SyncSimulator::try_new`] for a fallible constructor.
+    pub fn new(graph: &'g Graph, ids: &'g IdAssignment, level: KtLevel) -> Self {
+        Self::try_new(graph, ids, level).expect("ID assignment does not match the graph")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IdAssignmentMismatch`] if the assignment does not
+    /// cover exactly the graph's nodes.
+    pub fn try_new(
+        graph: &'g Graph,
+        ids: &'g IdAssignment,
+        level: KtLevel,
+    ) -> Result<Self, SimError> {
+        if ids.len() != graph.num_nodes() {
+            return Err(SimError::IdAssignmentMismatch {
+                graph_nodes: graph.num_nodes(),
+                id_nodes: ids.len(),
+            });
+        }
+        Ok(SyncSimulator { graph, ids, level })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The ID assignment.
+    pub fn ids(&self) -> &'g IdAssignment {
+        self.ids
+    }
+
+    /// The KT level.
+    pub fn level(&self) -> KtLevel {
+        self.level
+    }
+
+    /// The knowledge view of a single node (useful for centrally-coordinated
+    /// orchestration code that still wants to respect KT-ρ limits).
+    pub fn knowledge_of(&self, v: NodeId) -> KnowledgeView<'g> {
+        KnowledgeView::new(self.graph, self.ids, self.level, v)
+    }
+
+    /// Runs the algorithm produced per node by `make` until every node is
+    /// done and no messages are in flight, or until the round limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node sends a message exceeding the configured bit limit or
+    /// sends to a non-neighbour — both indicate bugs in the node algorithm.
+    pub fn run<A, F>(&self, config: SyncConfig, mut make: F) -> ExecutionReport
+    where
+        A: NodeAlgorithm,
+        F: FnMut(NodeInit<'_>) -> A,
+    {
+        let n = self.graph.num_nodes();
+        let neighbor_lists: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| self.graph.neighbor_vec(NodeId(i as u32)))
+            .collect();
+
+        let mut nodes: Vec<A> = (0..n)
+            .map(|i| {
+                let v = NodeId(i as u32);
+                make(NodeInit {
+                    node: v,
+                    num_nodes: n,
+                    knowledge: KnowledgeView::new(self.graph, self.ids, self.level, v),
+                })
+            })
+            .collect();
+
+        let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); n];
+        let mut messages: u64 = 0;
+        let mut max_bits: u32 = 0;
+        let mut rounds: u64 = 0;
+        let mut completed = false;
+        let mut per_edge: Option<Vec<u64>> = config
+            .track_per_edge
+            .then(|| vec![0u64; self.graph.num_edges()]);
+        let mut utilized: Option<Vec<bool>> = config
+            .track_utilization
+            .then(|| vec![false; self.graph.num_edges()]);
+        let mut trace: Option<Trace> = config.record_trace.then(Trace::new);
+
+        loop {
+            let in_flight: usize = inboxes.iter().map(Vec::len).sum();
+            if rounds > 0 && in_flight == 0 && nodes.iter().all(NodeAlgorithm::is_done) {
+                completed = true;
+                break;
+            }
+            if rounds >= config.max_rounds {
+                break;
+            }
+
+            let mut next_inboxes: Vec<Vec<Message>> = vec![Vec::new(); n];
+            let mut round_trace: Vec<TraceMessage> = Vec::new();
+
+            for i in 0..n {
+                let v = NodeId(i as u32);
+                let inbox = std::mem::take(&mut inboxes[i]);
+                let knowledge = KnowledgeView::new(self.graph, self.ids, self.level, v);
+                let mut ctx = RoundContext::new(v, rounds, knowledge, &neighbor_lists[i]);
+                nodes[i].on_round(&mut ctx, &inbox);
+                for (to, msg) in ctx.take_outbox() {
+                    let bits = msg.size_bits();
+                    assert!(
+                        bits <= config.message_bit_limit,
+                        "node {v} sent a {bits}-bit message, exceeding the CONGEST budget of {} bits",
+                        config.message_bit_limit
+                    );
+                    max_bits = max_bits.max(bits);
+                    messages += 1;
+                    let edge = self
+                        .graph
+                        .edge_between(v, to)
+                        .expect("send target verified to be a neighbour");
+                    if let Some(pe) = per_edge.as_mut() {
+                        pe[edge.index()] += 1;
+                    }
+                    if let Some(util) = utilized.as_mut() {
+                        self.mark_utilized(util, v, to, edge, &msg);
+                    }
+                    if let Some(t) = trace.as_mut() {
+                        round_trace.push(TraceMessage {
+                            from: v,
+                            to,
+                            message: msg.clone(),
+                        });
+                        let _ = t; // trace is pushed per round below
+                    }
+                    next_inboxes[to.index()].push(msg);
+                }
+            }
+
+            if let Some(t) = trace.as_mut() {
+                t.push_round(round_trace);
+            }
+            inboxes = next_inboxes;
+            rounds += 1;
+        }
+
+        ExecutionReport {
+            completed,
+            rounds,
+            messages,
+            max_message_bits: max_bits,
+            outputs: nodes.iter().map(NodeAlgorithm::output).collect(),
+            per_edge_messages: per_edge,
+            utilized_edges: utilized,
+            trace,
+        }
+    }
+
+    /// Marks edges utilized by one message per Definition 2.3:
+    /// (i) the edge the message travels on; (ii) for every ID field `φ(w)`
+    /// contained in the message, the edges `{sender, w}` and `{receiver, w}`
+    /// if they exist (sender sends the ID of its neighbour `w`; receiver
+    /// receives the ID of its neighbour `w`).
+    fn mark_utilized(
+        &self,
+        utilized: &mut [bool],
+        from: NodeId,
+        to: NodeId,
+        edge: EdgeId,
+        msg: &Message,
+    ) {
+        utilized[edge.index()] = true;
+        for &id in msg.ids() {
+            if let Some(w) = self.ids.node_with_id(id) {
+                if let Some(e) = self.graph.edge_between(from, w) {
+                    utilized[e.index()] = true;
+                }
+                if let Some(e) = self.graph.edge_between(to, w) {
+                    utilized[e.index()] = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbreak_graphs::generators;
+
+    /// Every node sends its own ID to every neighbour in round 0, then stops.
+    struct Announce {
+        done: bool,
+    }
+
+    impl NodeAlgorithm for Announce {
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>, _inbox: &[Message]) {
+            if ctx.round() == 0 {
+                let id = ctx.own_id();
+                ctx.broadcast(&Message::tagged(0).with_id(id));
+            }
+            self.done = true;
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+        fn output(&self) -> Option<u64> {
+            Some(1)
+        }
+    }
+
+    /// A node algorithm that never sends and is immediately done.
+    struct Silent;
+    impl NodeAlgorithm for Silent {
+        fn on_round(&mut self, _ctx: &mut RoundContext<'_>, _inbox: &[Message]) {}
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn announce_counts_messages_and_rounds() {
+        let g = generators::clique(5);
+        let ids = IdAssignment::identity(5);
+        let sim = SyncSimulator::new(&g, &ids, KtLevel::KT1);
+        let report = sim.run(SyncConfig::default(), |_| Announce { done: false });
+        assert!(report.completed);
+        // Each of 5 nodes broadcasts to 4 neighbours in round 0.
+        assert_eq!(report.messages, 20);
+        // Round 0 sends, round 1 delivers (nodes already done), then halt.
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.outputs, vec![Some(1); 5]);
+    }
+
+    #[test]
+    fn silent_run_terminates_after_one_round() {
+        let g = generators::path(3);
+        let ids = IdAssignment::identity(3);
+        let sim = SyncSimulator::new(&g, &ids, KtLevel::KT0);
+        let report = sim.run(SyncConfig::default(), |_| Silent);
+        assert!(report.completed);
+        assert_eq!(report.messages, 0);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.max_message_bits, 0);
+    }
+
+    #[test]
+    fn round_limit_reported_as_incomplete() {
+        struct Chatter;
+        impl NodeAlgorithm for Chatter {
+            fn on_round(&mut self, ctx: &mut RoundContext<'_>, _inbox: &[Message]) {
+                let msg = Message::tagged(1);
+                ctx.broadcast(&msg);
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::cycle(4);
+        let ids = IdAssignment::identity(4);
+        let sim = SyncSimulator::new(&g, &ids, KtLevel::KT1);
+        let report = sim.run(SyncConfig::default().with_max_rounds(10), |_| Chatter);
+        assert!(!report.completed);
+        assert_eq!(report.rounds, 10);
+        assert_eq!(report.messages, 4 * 2 * 10);
+    }
+
+    #[test]
+    fn utilization_marks_message_edges_and_id_mentions() {
+        // Path 0-1-2: node 1 sends node 2's ID to node 0. The message edge
+        // {0,1} is utilized and — because node 0 receives the ID of node 2 —
+        // the edge {0,2} would be utilized if it existed (it does not), and
+        // the edge {1,2} is utilized because the sender 1 sends the ID of its
+        // neighbour 2.
+        struct Gossip;
+        impl NodeAlgorithm for Gossip {
+            fn on_round(&mut self, ctx: &mut RoundContext<'_>, _inbox: &[Message]) {
+                if ctx.round() == 0 && ctx.node() == NodeId(1) {
+                    let id2 = ctx.knowledge().id_of(NodeId(2));
+                    ctx.send(NodeId(0), Message::tagged(0).with_id(id2));
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(3);
+        let ids = IdAssignment::from_vec(vec![10, 20, 30]);
+        let sim = SyncSimulator::new(&g, &ids, KtLevel::KT1);
+        let report = sim.run(SyncConfig::instrumented(), |_| Gossip);
+        assert!(report.completed);
+        let e01 = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let e12 = g.edge_between(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(report.is_utilized(e01), Some(true));
+        assert_eq!(report.is_utilized(e12), Some(true));
+        assert_eq!(report.utilized_edge_count(), Some(2));
+        // Per-edge counters: exactly one message, on edge {0,1}.
+        let per_edge = report.per_edge_messages.unwrap();
+        assert_eq!(per_edge[e01.index()], 1);
+        assert_eq!(per_edge[e12.index()], 0);
+        // Trace recorded one message in round 0.
+        let trace = report.trace.unwrap();
+        assert_eq!(trace.num_messages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding the CONGEST budget")]
+    fn oversized_messages_panic() {
+        struct Oversize;
+        impl NodeAlgorithm for Oversize {
+            fn on_round(&mut self, ctx: &mut RoundContext<'_>, _inbox: &[Message]) {
+                if ctx.round() == 0 {
+                    let msg = Message::tagged(0)
+                        .with_id(1)
+                        .with_id(2)
+                        .with_value(3)
+                        .with_value(4)
+                        .with_value(5);
+                    ctx.broadcast(&msg);
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(2);
+        let ids = IdAssignment::identity(2);
+        let sim = SyncSimulator::new(&g, &ids, KtLevel::KT1);
+        let config = SyncConfig {
+            message_bit_limit: 64,
+            ..SyncConfig::default()
+        };
+        let _ = sim.run(config, |_| Oversize);
+    }
+
+    #[test]
+    fn try_new_rejects_mismatched_ids() {
+        let g = generators::path(3);
+        let ids = IdAssignment::identity(2);
+        let err = SyncSimulator::try_new(&g, &ids, KtLevel::KT1).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::IdAssignmentMismatch {
+                graph_nodes: 3,
+                id_nodes: 2
+            }
+        );
+    }
+}

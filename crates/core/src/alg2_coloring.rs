@@ -1,0 +1,349 @@
+//! Algorithm 2: (1+ε)Δ-coloring in KT-1 CONGEST with Õ(n/ε²) messages
+//! (Theorem 3.8).
+//!
+//! Every phase `i`, an uncoloured node picks the candidate colour
+//! `c = h_i(ID_v)` where `h_i` is a Θ(log n)-wise independent hash function
+//! derived from the shared random bits. Because every neighbour's ID is
+//! known (KT-1) and the hash functions are shared, the node can compute
+//! *locally* which neighbours could possibly hold or propose `c` — namely
+//! those `u` with `h_j(ID_u) = c` for some phase `j ≤ i` — and it checks the
+//! colour with exactly those `O(log² n / ε)` neighbours (Lemma 3.7) instead
+//! of all `deg(v)` of them. Ties within a phase are broken towards the
+//! smaller ID.
+
+use rand::Rng;
+use symbreak_congest::{
+    CostAccount, ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig,
+    SyncSimulator,
+};
+use symbreak_danner::{ops, setup};
+use symbreak_graphs::{properties, Graph, IdAssignment, NodeId};
+use symbreak_ktrand::{tail, KWiseHash, SharedRandomness};
+
+use crate::error::CoreError;
+
+const TAG_QUERY: u16 = 0x60;
+const TAG_RESPONSE: u16 = 0x61;
+
+/// Configuration of Algorithm 2.
+#[derive(Debug, Clone, Copy)]
+pub struct Alg2Config {
+    /// The slack ε > 0 of the (1+ε)Δ palette.
+    pub epsilon: f64,
+    /// Danner parameter δ used for the shared-randomness setup (the paper
+    /// uses δ = 0, i.e. an Õ(n)-edge danner).
+    pub delta: f64,
+    /// Safety factor on the `O(log n / ε)` phase budget.
+    pub phase_budget_factor: f64,
+}
+
+impl Default for Alg2Config {
+    fn default() -> Self {
+        Alg2Config {
+            epsilon: 0.5,
+            delta: 0.0,
+            phase_budget_factor: 12.0,
+        }
+    }
+}
+
+/// Outcome of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct Alg2Outcome {
+    /// Per-node colours from `{0, …, palette_size − 1}`.
+    pub colors: Vec<Option<u64>>,
+    /// Message/round costs phase by phase.
+    pub costs: CostAccount,
+    /// The palette size `⌈(1+ε)Δ⌉` (at least `Δ + 1`).
+    pub palette_size: u64,
+    /// The global maximum degree Δ.
+    pub max_degree: u64,
+}
+
+struct Alg2Node {
+    own_id: u64,
+    color: Option<u64>,
+    neighbor_ids: Vec<(NodeId, u64)>,
+    shared: SharedRandomness,
+    palette_size: u64,
+    independence: usize,
+    hashes: Vec<KWiseHash>,
+    phase: usize,
+    max_phases: usize,
+    candidate: Option<u64>,
+}
+
+impl Alg2Node {
+    fn hash_for_phase(&mut self, j: usize) -> &KWiseHash {
+        while self.hashes.len() <= j {
+            let h = self.shared.indexed_hash_fn(
+                "alg2.phase",
+                self.hashes.len(),
+                self.independence,
+                self.palette_size,
+            );
+            self.hashes.push(h);
+        }
+        &self.hashes[j]
+    }
+
+    fn respond(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message], phase: usize) {
+        // Make sure the current phase hash exists before borrowing.
+        let _ = self.hash_for_phase(phase);
+        for msg in inbox {
+            if msg.tag() != TAG_QUERY {
+                continue;
+            }
+            let c = msg.values()[0];
+            let sender_id = msg.ids()[0];
+            let Some(sender) = ctx.knowledge().known_node_with_id(sender_id) else {
+                continue;
+            };
+            let proposes_c_with_priority = self.color.is_none()
+                && self.hashes[phase].eval(self.own_id) == c
+                && self.own_id < sender_id;
+            let taken = u64::from(self.color == Some(c) || proposes_c_with_priority);
+            ctx.send(
+                sender,
+                Message::tagged(TAG_RESPONSE).with_value(c).with_value(taken),
+            );
+        }
+    }
+}
+
+impl NodeAlgorithm for Alg2Node {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        let phase = (ctx.round() / 3) as usize;
+        match ctx.round() % 3 {
+            0 => {
+                if self.color.is_none() && self.phase < self.max_phases {
+                    let own_id = self.own_id;
+                    let c = self.hash_for_phase(phase).eval(own_id);
+                    self.candidate = Some(c);
+                    // Query exactly the neighbours that could hold or propose c.
+                    let mut targets = Vec::new();
+                    for &(u, uid) in &self.neighbor_ids {
+                        let could = (0..=phase).any(|j| self.hashes[j].eval(uid) == c);
+                        if could {
+                            targets.push(u);
+                        }
+                    }
+                    let query = Message::tagged(TAG_QUERY).with_value(c).with_id(self.own_id);
+                    for u in targets {
+                        ctx.send(u, query.clone());
+                    }
+                }
+            }
+            1 => {
+                self.respond(ctx, inbox, phase);
+            }
+            _ => {
+                if let Some(c) = self.candidate.take() {
+                    let blocked = inbox
+                        .iter()
+                        .any(|m| m.tag() == TAG_RESPONSE && m.values()[0] == c && m.values()[1] == 1);
+                    if !blocked {
+                        self.color = Some(c);
+                    }
+                    self.phase += 1;
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.color.is_some() || self.phase >= self.max_phases
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.color
+    }
+}
+
+/// Runs the Algorithm 2 colouring phases given already-distributed shared
+/// randomness and a known Δ. Exposed separately so ablations can reuse it.
+pub fn run_phases(
+    graph: &Graph,
+    ids: &IdAssignment,
+    shared: &SharedRandomness,
+    palette_size: u64,
+    max_phases: usize,
+) -> (Vec<Option<u64>>, ExecutionReport) {
+    let n = graph.num_nodes();
+    let independence = tail::log_n_independence(n);
+    let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+    let report = sim.run(SyncConfig::default(), |init| Alg2Node {
+        own_id: init.knowledge.own_id(),
+        color: None,
+        neighbor_ids: init.knowledge.neighbor_ids(),
+        shared: shared.clone(),
+        palette_size,
+        independence,
+        hashes: Vec::new(),
+        phase: 0,
+        max_phases,
+        candidate: None,
+    });
+    assert!(report.completed, "Algorithm 2 phases did not quiesce");
+    (report.outputs.clone(), report)
+}
+
+/// Runs Algorithm 2 end to end on a connected graph.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `ε ≤ 0`,
+/// [`CoreError::Disconnected`] for disconnected inputs, and
+/// [`CoreError::DidNotConverge`] if some node stays uncoloured after the
+/// phase budget.
+pub fn run<R: Rng + ?Sized>(
+    graph: &Graph,
+    ids: &IdAssignment,
+    config: Alg2Config,
+    rng: &mut R,
+) -> Result<Alg2Outcome, CoreError> {
+    if config.epsilon <= 0.0 || config.epsilon.is_nan() {
+        return Err(CoreError::InvalidParameter {
+            name: "epsilon",
+            message: format!("epsilon = {} must be positive", config.epsilon),
+        });
+    }
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Ok(Alg2Outcome {
+            colors: Vec::new(),
+            costs: CostAccount::new(),
+            palette_size: 1,
+            max_degree: 0,
+        });
+    }
+    if !properties::is_connected(graph) {
+        return Err(CoreError::Disconnected);
+    }
+    let log_n = (n.max(2) as f64).log2();
+    let mut costs = CostAccount::new();
+
+    // Shared randomness: (C/ε)·log³ n bits over an Õ(n)-edge danner.
+    let seed_bits = ((log_n.powi(3) / config.epsilon).ceil() as usize).max(64);
+    let setup_outcome =
+        setup::try_shared_randomness(graph, ids, config.delta, seed_bits, rng)?;
+    costs.absorb("setup", &setup_outcome.costs);
+    let carrier = setup_outcome.danner.subgraph().clone();
+    let tree = setup_outcome.tree;
+    let shared = setup_outcome.shared;
+
+    // Learn and redistribute Δ (real messages over the danner tree).
+    let degrees: Vec<u64> = graph.nodes().map(|v| graph.degree(v) as u64).collect();
+    let (max_degree, report) = ops::convergecast_max(&carrier, ids, &tree, &degrees);
+    costs.charge_report("Δ convergecast", &report);
+    let report = ops::broadcast_words(&carrier, ids, &tree, &[max_degree]);
+    costs.charge_report("Δ broadcast", &report);
+
+    let palette_size = (((1.0 + config.epsilon) * max_degree as f64).ceil() as u64)
+        .max(max_degree + 1)
+        .max(1);
+    let max_phases = ((config.phase_budget_factor * log_n / config.epsilon.min(1.0)).ceil()
+        as usize)
+        .max(8);
+
+    let (colors, report) = run_phases(graph, ids, &shared, palette_size, max_phases);
+    costs.charge_report("colour trial phases", &report);
+
+    if colors.iter().any(Option::is_none) {
+        return Err(CoreError::DidNotConverge {
+            stage: "(1+ε)Δ colour trials",
+        });
+    }
+    Ok(Alg2Outcome {
+        colors,
+        costs,
+        palette_size,
+        max_degree,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symbreak_classic::coloring::verify;
+    use symbreak_graphs::{generators, IdSpace};
+
+    fn instance(n: usize, p: f64, seed: u64) -> (Graph, IdAssignment) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_gnp(n, p, &mut rng);
+        let ids = IdAssignment::random(&g, IdSpace::CUBIC, &mut rng);
+        (g, ids)
+    }
+
+    #[test]
+    fn colors_properly_within_palette() {
+        for (n, p, eps, seed) in [(50usize, 0.3, 0.5f64, 1u64), (80, 0.6, 1.0, 2), (60, 0.4, 0.25, 3)]
+        {
+            let (g, ids) = instance(n, p, seed);
+            let mut rng = StdRng::seed_from_u64(seed + 50);
+            let config = Alg2Config {
+                epsilon: eps,
+                ..Alg2Config::default()
+            };
+            let out = run(&g, &ids, config, &mut rng).unwrap();
+            assert!(verify::is_proper_coloring(&g, &out.colors), "n={n} eps={eps}");
+            assert!(verify::uses_colors_below(&out.colors, out.palette_size));
+        }
+    }
+
+    #[test]
+    fn message_cost_is_near_linear_in_n_on_dense_graphs() {
+        let (g, ids) = instance(100, 0.8, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = run(&g, &ids, Alg2Config::default(), &mut rng).unwrap();
+        assert!(verify::is_proper_coloring(&g, &out.colors));
+        // The colour-trial phases themselves (excluding the charged danner
+        // setup) should cost far less than m on a dense graph.
+        let trial_messages: u64 = out
+            .costs
+            .phases()
+            .filter(|(label, _)| label.contains("phases"))
+            .map(|(_, c)| c.simulated_messages)
+            .sum();
+        assert!(
+            trial_messages < g.num_edges() as u64,
+            "trial messages {trial_messages} should be below m = {}",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_epsilon_and_disconnected_graphs() {
+        let (g, ids) = instance(20, 0.5, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = Alg2Config {
+            epsilon: 0.0,
+            ..Alg2Config::default()
+        };
+        assert!(matches!(
+            run(&g, &ids, config, &mut rng).unwrap_err(),
+            CoreError::InvalidParameter { name: "epsilon", .. }
+        ));
+        let g2 = generators::disjoint_union(&[generators::clique(3), generators::clique(3)]);
+        let ids2 = IdAssignment::identity(6);
+        assert_eq!(
+            run(&g2, &ids2, Alg2Config::default(), &mut rng).unwrap_err(),
+            CoreError::Disconnected
+        );
+    }
+
+    #[test]
+    fn handles_sparse_graphs_and_single_node() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::path(10);
+        let ids = IdAssignment::identity(10);
+        let out = run(&g, &ids, Alg2Config::default(), &mut rng).unwrap();
+        assert!(verify::is_proper_coloring(&g, &out.colors));
+        let g = generators::empty(1);
+        let ids = IdAssignment::identity(1);
+        let out = run(&g, &ids, Alg2Config::default(), &mut rng).unwrap();
+        assert!(verify::is_proper_coloring(&g, &out.colors));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the paper's algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+use symbreak_danner::DannerError;
+
+/// Errors returned by Algorithms 1–3.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The algorithms require a connected input graph (the paper elects a
+    /// single leader / samples against a single Δ). Run per component for
+    /// disconnected inputs.
+    Disconnected,
+    /// A configuration parameter is out of range.
+    InvalidParameter {
+        /// The offending parameter name.
+        name: &'static str,
+        /// A human-readable description of the constraint.
+        message: String,
+    },
+    /// The run exceeded its configured phase/round budget without finishing.
+    DidNotConverge {
+        /// Which stage failed to converge.
+        stage: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Disconnected => {
+                write!(f, "the input graph must be connected; run per component")
+            }
+            CoreError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            CoreError::DidNotConverge { stage } => {
+                write!(f, "stage `{stage}` did not converge within its round budget")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<DannerError> for CoreError {
+    fn from(err: DannerError) -> Self {
+        match err {
+            DannerError::Disconnected => CoreError::Disconnected,
+            DannerError::InvalidDelta { delta } => CoreError::InvalidParameter {
+                name: "delta",
+                message: format!("danner parameter {delta} must lie in [0, 1]"),
+            },
+            other => CoreError::InvalidParameter {
+                name: "danner",
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(CoreError::Disconnected.to_string().contains("connected"));
+        let e: CoreError = DannerError::InvalidDelta { delta: 2.0 }.into();
+        assert!(matches!(e, CoreError::InvalidParameter { name: "delta", .. }));
+        let e: CoreError = DannerError::Disconnected.into();
+        assert_eq!(e, CoreError::Disconnected);
+        assert!(CoreError::DidNotConverge { stage: "x" }.to_string().contains('x'));
+    }
+}

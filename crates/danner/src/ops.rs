@@ -1,0 +1,326 @@
+//! Real, metered broadcast and convergecast over a rooted spanning tree.
+//!
+//! These are the recurring communication primitives of Algorithm 1 and
+//! Algorithm 2: broadcasting the leader's random seed words down the danner
+//! and aggregating statistics (such as `|E(G[L])|` in Step 4 of Algorithm 1)
+//! back up. Both are implemented as [`NodeAlgorithm`] automata and executed
+//! by the CONGEST simulator, so every message is counted for real.
+
+use symbreak_congest::{
+    ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
+};
+use symbreak_graphs::{Graph, IdAssignment, NodeId};
+
+use crate::BfsTree;
+
+/// Message tag for broadcast words.
+const TAG_BCAST: u16 = 0x10;
+/// Message tag for convergecast partial sums.
+const TAG_UPCAST: u16 = 0x11;
+
+/// Pipelined broadcast of `words` from the tree root to every node.
+///
+/// Word `i` is injected by the root in round `i` and forwarded down the tree,
+/// so the execution takes `height + |words|` rounds and `(n − 1)·|words|`
+/// messages. Every node's output is a digest of the words it received, which
+/// [`broadcast_words`] checks for agreement.
+struct BroadcastNode {
+    is_root: bool,
+    children: Vec<NodeId>,
+    expected: usize,
+    words: Vec<Option<u64>>,
+    next_to_send: usize,
+}
+
+impl BroadcastNode {
+    fn digest(&self) -> u64 {
+        let mut acc: u64 = 0xcbf29ce484222325;
+        for w in self.words.iter().flatten() {
+            acc ^= *w;
+            acc = acc.wrapping_mul(0x100000001b3);
+        }
+        acc
+    }
+    fn have_all(&self) -> bool {
+        self.words.iter().all(Option::is_some)
+    }
+}
+
+impl NodeAlgorithm for BroadcastNode {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        for msg in inbox {
+            if msg.tag() == TAG_BCAST {
+                let idx = msg.values()[0] as usize;
+                let word = msg.values()[1];
+                if self.words[idx].is_none() {
+                    self.words[idx] = Some(word);
+                }
+            }
+        }
+        // Forward (or, at the root, inject) the next word in sequence once it
+        // is available locally.
+        while self.next_to_send < self.expected {
+            let idx = self.next_to_send;
+            let Some(word) = self.words[idx] else { break };
+            let msg = Message::tagged(TAG_BCAST)
+                .with_value(idx as u64)
+                .with_value(word);
+            for i in 0..self.children.len() {
+                ctx.send(self.children[i], msg.clone());
+            }
+            self.next_to_send += 1;
+        }
+        let _ = self.is_root;
+    }
+
+    fn is_done(&self) -> bool {
+        self.have_all() && self.next_to_send == self.expected
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.have_all().then(|| self.digest())
+    }
+}
+
+/// Broadcasts `words` from `tree.root()` to every node over the tree edges.
+///
+/// Returns the execution report. All communication happens inside the
+/// simulator over the subgraph `carrier` (normally the danner), so the
+/// returned report's message count is the real cost of the broadcast.
+///
+/// # Panics
+///
+/// Panics if the nodes fail to agree on the broadcast content (which would
+/// indicate a simulator or algorithm bug) or if `words` is empty.
+pub fn broadcast_words(
+    carrier: &Graph,
+    ids: &IdAssignment,
+    tree: &BfsTree,
+    words: &[u64],
+) -> ExecutionReport {
+    assert!(!words.is_empty(), "broadcast requires at least one word");
+    let sim = SyncSimulator::new(carrier, ids, KtLevel::KT1);
+    let report = sim.run(SyncConfig::default(), |init| {
+        let is_root = init.node == tree.root();
+        let mut slots = vec![None; words.len()];
+        if is_root {
+            for (i, w) in words.iter().enumerate() {
+                slots[i] = Some(*w);
+            }
+        }
+        BroadcastNode {
+            is_root,
+            children: tree.children(init.node).to_vec(),
+            expected: words.len(),
+            words: slots,
+            next_to_send: 0,
+        }
+    });
+    assert!(report.completed, "broadcast did not terminate");
+    let first = report.outputs[0];
+    assert!(
+        report.outputs.iter().all(|o| *o == first && o.is_some()),
+        "broadcast produced diverging node states"
+    );
+    report
+}
+
+/// Convergecast (upcast) of a sum along the tree.
+struct ConvergecastNode {
+    parent: Option<NodeId>,
+    num_children: usize,
+    received: usize,
+    acc: u64,
+    sent: bool,
+}
+
+impl NodeAlgorithm for ConvergecastNode {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        for msg in inbox {
+            if msg.tag() == TAG_UPCAST {
+                self.acc = self.acc.wrapping_add(msg.values()[0]);
+                self.received += 1;
+            }
+        }
+        if !self.sent && self.received == self.num_children {
+            if let Some(p) = self.parent {
+                ctx.send(p, Message::tagged(TAG_UPCAST).with_value(self.acc));
+            }
+            self.sent = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.sent
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.sent.then_some(self.acc)
+    }
+}
+
+/// Aggregates `values[v]` over all nodes by summation up the tree and returns
+/// `(total, report)`. Costs `n − 1` messages and `height + 1` rounds.
+pub fn convergecast_sum(
+    carrier: &Graph,
+    ids: &IdAssignment,
+    tree: &BfsTree,
+    values: &[u64],
+) -> (u64, ExecutionReport) {
+    assert_eq!(
+        values.len(),
+        carrier.num_nodes(),
+        "one value per node is required"
+    );
+    let sim = SyncSimulator::new(carrier, ids, KtLevel::KT1);
+    let report = sim.run(SyncConfig::default(), |init| ConvergecastNode {
+        parent: tree.parent(init.node),
+        num_children: tree.children(init.node).len(),
+        received: 0,
+        acc: values[init.node.index()],
+        sent: false,
+    });
+    assert!(report.completed, "convergecast did not terminate");
+    let total = report.outputs[tree.root().index()].expect("root produced a total");
+    (total, report)
+}
+
+/// Convergecast (upcast) of a maximum along the tree.
+struct MaxcastNode {
+    parent: Option<NodeId>,
+    num_children: usize,
+    received: usize,
+    acc: u64,
+    sent: bool,
+}
+
+impl NodeAlgorithm for MaxcastNode {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        for msg in inbox {
+            if msg.tag() == TAG_UPCAST {
+                self.acc = self.acc.max(msg.values()[0]);
+                self.received += 1;
+            }
+        }
+        if !self.sent && self.received == self.num_children {
+            if let Some(p) = self.parent {
+                ctx.send(p, Message::tagged(TAG_UPCAST).with_value(self.acc));
+            }
+            self.sent = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.sent
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.sent.then_some(self.acc)
+    }
+}
+
+/// Aggregates the maximum of `values[v]` up the tree (e.g. to learn the
+/// global maximum degree Δ) and returns `(max, report)`. Costs `n − 1`
+/// messages and `height + 1` rounds.
+pub fn convergecast_max(
+    carrier: &Graph,
+    ids: &IdAssignment,
+    tree: &BfsTree,
+    values: &[u64],
+) -> (u64, ExecutionReport) {
+    assert_eq!(
+        values.len(),
+        carrier.num_nodes(),
+        "one value per node is required"
+    );
+    let sim = SyncSimulator::new(carrier, ids, KtLevel::KT1);
+    let report = sim.run(SyncConfig::default(), |init| MaxcastNode {
+        parent: tree.parent(init.node),
+        num_children: tree.children(init.node).len(),
+        received: 0,
+        acc: values[init.node.index()],
+        sent: false,
+    });
+    assert!(report.completed, "convergecast did not terminate");
+    let total = report.outputs[tree.root().index()].expect("root produced a maximum");
+    (total, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbreak_graphs::generators;
+
+    #[test]
+    fn convergecast_max_finds_maximum() {
+        let g = generators::cycle(10);
+        let ids = IdAssignment::identity(10);
+        let tree = BfsTree::rooted_at(&g, NodeId(3));
+        let values: Vec<u64> = (0..10).map(|i| (i * 37) % 23).collect();
+        let (max, report) = convergecast_max(&g, &ids, &tree, &values);
+        assert_eq!(max, *values.iter().max().unwrap());
+        assert_eq!(report.messages, 9);
+    }
+
+    fn setup(n: usize) -> (Graph, IdAssignment, BfsTree) {
+        let g = generators::cycle(n);
+        let ids = IdAssignment::identity(n);
+        let tree = BfsTree::rooted_at(&g, NodeId(0));
+        (g, ids, tree)
+    }
+
+    #[test]
+    fn broadcast_delivers_all_words() {
+        let (g, ids, tree) = setup(12);
+        let words = vec![0xdead, 0xbeef, 0x1234, 0x5678];
+        let report = broadcast_words(&g, &ids, &tree, &words);
+        assert!(report.completed);
+        // Each of the n − 1 tree edges carries each word exactly once.
+        assert_eq!(report.messages, (12 - 1) * words.len() as u64);
+        // Pipelining: rounds ≈ height + #words, far below height × #words.
+        assert!(report.rounds <= tree.height() as u64 + words.len() as u64 + 2);
+    }
+
+    #[test]
+    fn broadcast_single_word_costs_n_minus_one() {
+        let (g, ids, tree) = setup(20);
+        let report = broadcast_words(&g, &ids, &tree, &[42]);
+        assert_eq!(report.messages, 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn broadcast_rejects_empty_payload() {
+        let (g, ids, tree) = setup(4);
+        let _ = broadcast_words(&g, &ids, &tree, &[]);
+    }
+
+    #[test]
+    fn convergecast_sums_values() {
+        let (g, ids, tree) = setup(15);
+        let values: Vec<u64> = (0..15).collect();
+        let (total, report) = convergecast_sum(&g, &ids, &tree, &values);
+        assert_eq!(total, (0..15).sum::<u64>());
+        assert_eq!(report.messages, 14);
+        assert!(report.rounds as u32 <= tree.height() + 2);
+    }
+
+    #[test]
+    fn convergecast_on_star_is_two_rounds() {
+        let g = generators::star(30);
+        let ids = IdAssignment::identity(30);
+        let tree = BfsTree::rooted_at(&g, NodeId(0));
+        let values = vec![1u64; 30];
+        let (total, report) = convergecast_sum(&g, &ids, &tree, &values);
+        assert_eq!(total, 30);
+        assert_eq!(report.messages, 29);
+        assert!(report.rounds <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per node")]
+    fn convergecast_requires_matching_lengths() {
+        let (g, ids, tree) = setup(4);
+        let _ = convergecast_sum(&g, &ids, &tree, &[1, 2]);
+    }
+}

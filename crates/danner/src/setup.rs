@@ -1,0 +1,197 @@
+//! End-to-end shared-randomness setup (Corollary 1.2 / Theorem 1.3).
+//!
+//! This is the entry point Algorithms 1 and 2 use: build a danner, elect a
+//! leader, and broadcast the leader's random bits so that every node holds
+//! the same [`SharedRandomness`]. Construction and leader election are
+//! charged per the published bounds (see `DESIGN.md`); the broadcast of the
+//! seed words is executed for real in the simulator.
+
+use rand::Rng;
+use symbreak_congest::{CostAccount, PhaseCost};
+use symbreak_graphs::{properties, Graph, IdAssignment, NodeId};
+use symbreak_ktrand::SharedRandomness;
+
+use crate::ops::broadcast_words;
+use crate::{BfsTree, Danner, DannerError};
+
+/// Result of the shared-randomness setup.
+#[derive(Debug, Clone)]
+pub struct SharedRandomnessOutcome {
+    /// The shared randomness every node now holds.
+    pub shared: SharedRandomness,
+    /// The danner that was built.
+    pub danner: Danner,
+    /// The broadcast tree rooted at the leader (a BFS tree of the danner).
+    pub tree: BfsTree,
+    /// The elected leader (the minimum-ID node).
+    pub leader: NodeId,
+    /// Message/round costs, phase by phase.
+    pub costs: CostAccount,
+}
+
+/// Runs the synchronous KT-1 shared-randomness setup of Corollary 1.2:
+/// danner construction with parameter `delta`, leader election, and a real
+/// broadcast of `⌈budget_bits / 64⌉` seed words over the danner.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or `delta ∉ [0, 1]` (the callers in
+/// `symbreak-core` validate their inputs first); use [`try_shared_randomness`]
+/// for a fallible variant.
+pub fn shared_randomness<R: Rng + ?Sized>(
+    graph: &Graph,
+    ids: &IdAssignment,
+    delta: f64,
+    budget_bits: usize,
+    rng: &mut R,
+) -> SharedRandomnessOutcome {
+    try_shared_randomness(graph, ids, delta, budget_bits, rng)
+        .expect("shared-randomness setup requires a connected graph and delta in [0, 1]")
+}
+
+/// Fallible variant of [`shared_randomness`].
+///
+/// # Errors
+///
+/// Returns the underlying [`DannerError`] when the danner cannot be built.
+pub fn try_shared_randomness<R: Rng + ?Sized>(
+    graph: &Graph,
+    ids: &IdAssignment,
+    delta: f64,
+    budget_bits: usize,
+    rng: &mut R,
+) -> Result<SharedRandomnessOutcome, DannerError> {
+    let mut costs = CostAccount::new();
+
+    // Step 1a: danner construction (charged, Theorem 1.1).
+    let danner = Danner::build(graph, ids, delta)?;
+    costs.charge("danner construction (charged, Thm 1.1)", danner.construction_cost());
+
+    // Step 1b: leader election over the danner (charged, Corollary 1.2): the
+    // minimum-ID node wins; the distributed election floods over the danner,
+    // costing O(|E(H)|) messages and O(diam(H)) rounds.
+    let leader = graph
+        .nodes()
+        .min_by_key(|&v| ids.id_of(v))
+        .expect("non-empty graph");
+    let diam_h = properties::diameter(danner.subgraph()).unwrap_or(0) as u64;
+    costs.charge(
+        "leader election over danner (charged, Cor 1.2)",
+        PhaseCost::charged(danner.num_edges() as u64, diam_h.max(1)),
+    );
+
+    // Step 1c: the leader generates the random bits and broadcasts them over
+    // a BFS tree of the danner — real, metered messages.
+    let tree = BfsTree::rooted_at(danner.subgraph(), leader);
+    let num_words = budget_bits.div_ceil(64).max(1);
+    let words: Vec<u64> = (0..num_words).map(|_| rng.gen()).collect();
+    let report = broadcast_words(danner.subgraph(), ids, &tree, &words);
+    costs.charge_report("seed broadcast over danner (simulated)", &report);
+
+    let shared = SharedRandomness::from_seed(words[0], budget_bits);
+    Ok(SharedRandomnessOutcome {
+        shared,
+        danner,
+        tree,
+        leader,
+        costs,
+    })
+}
+
+/// Asynchronous shared-randomness setup (Theorem 1.3, Mashreghi–King):
+/// broadcast and leader election in the *asynchronous* KT-1 CONGEST model
+/// using `Õ(min{m, n^{1.5}})` messages and `O(n)` rounds. The substrate is
+/// charged (see `DESIGN.md`), and the per-word dissemination cost of the
+/// seed itself is charged on top at `n − 1` messages per word.
+pub fn async_shared_randomness<R: Rng + ?Sized>(
+    graph: &Graph,
+    ids: &IdAssignment,
+    budget_bits: usize,
+    rng: &mut R,
+) -> (SharedRandomness, CostAccount) {
+    let _ = ids;
+    let n = graph.num_nodes();
+    let m = graph.num_edges() as u64;
+    let log_n = (n.max(2) as f64).log2().ceil() as u64;
+    let mut costs = CostAccount::new();
+    let tree_bound = ((n as f64).powf(1.5).ceil() as u64).min(m);
+    costs.charge(
+        "async ST/leader election (charged, Thm 1.3)",
+        PhaseCost::charged(tree_bound.saturating_mul(log_n), n as u64),
+    );
+    let num_words = budget_bits.div_ceil(64).max(1) as u64;
+    costs.charge(
+        "async seed dissemination (charged)",
+        PhaseCost::charged(num_words * (n as u64).saturating_sub(1), n as u64),
+    );
+    let shared = SharedRandomness::generate(rng, budget_bits);
+    (shared, costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symbreak_graphs::generators;
+
+    #[test]
+    fn sync_setup_produces_consistent_outcome() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::connected_gnp(70, 0.4, &mut rng);
+        let ids = IdAssignment::random(&g, symbreak_graphs::IdSpace::CUBIC, &mut rng);
+        let out = shared_randomness(&g, &ids, 0.5, 256, &mut rng);
+        // Leader is the minimum-ID node.
+        let min_id_node = g.nodes().min_by_key(|&v| ids.id_of(v)).unwrap();
+        assert_eq!(out.leader, min_id_node);
+        assert_eq!(out.tree.root(), out.leader);
+        // The broadcast cost is real and the construction cost is charged.
+        assert!(out.costs.simulated_messages() >= (g.num_nodes() as u64 - 1));
+        assert!(out.costs.charged_messages() > 0);
+        assert_eq!(out.shared.budget_bits(), 256);
+    }
+
+    #[test]
+    fn sync_setup_message_cost_beats_per_edge_flooding_on_dense_graphs() {
+        // At n = 120 the polylog factors hidden in Õ(·) still matter, so the
+        // fair comparison point is a baseline that sends O(log n) messages
+        // per edge (any flooding/state-exchange approach); the benches
+        // demonstrate the asymptotic o(m) crossover at larger n.
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = generators::connected_gnp(120, 0.9, &mut rng);
+        let ids = IdAssignment::identity(120);
+        let out = shared_randomness(&g, &ids, 0.5, 128, &mut rng);
+        let log_n = (g.num_nodes() as f64).log2().ceil() as u64;
+        assert!(
+            out.costs.total_messages() < g.num_edges() as u64 * log_n,
+            "setup cost {} should be below m·log n = {}",
+            out.costs.total_messages(),
+            g.num_edges() as u64 * log_n
+        );
+        // The *simulated* part (the actual seed broadcast) is tiny: O(n).
+        assert!(out.costs.simulated_messages() <= 4 * g.num_nodes() as u64);
+    }
+
+    #[test]
+    fn sync_setup_rejects_disconnected_graphs() {
+        let g = generators::disjoint_union(&[generators::path(3), generators::path(3)]);
+        let ids = IdAssignment::identity(6);
+        let mut rng = StdRng::seed_from_u64(13);
+        let err = try_shared_randomness(&g, &ids, 0.5, 64, &mut rng).unwrap_err();
+        assert_eq!(err, DannerError::Disconnected);
+    }
+
+    #[test]
+    fn async_setup_charges_published_bounds() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = generators::connected_gnp(80, 0.7, &mut rng);
+        let ids = IdAssignment::identity(80);
+        let (shared, costs) = async_shared_randomness(&g, &ids, 512, &mut rng);
+        assert_eq!(shared.budget_bits(), 512);
+        assert_eq!(costs.simulated_messages(), 0);
+        assert!(costs.charged_messages() > 0);
+        // Charged messages stay within Õ(n^1.5).
+        let n = g.num_nodes() as f64;
+        assert!(costs.charged_messages() as f64 <= n.powf(1.5) * n.log2() + 16.0 * n);
+    }
+}

@@ -1,0 +1,182 @@
+//! Incremental construction of [`Graph`] values.
+
+use std::collections::BTreeSet;
+
+use crate::{EdgeId, Graph, NodeId};
+
+/// Builder for [`Graph`].
+///
+/// Self-loops are rejected and duplicate edges are deduplicated, so the
+/// resulting graph is always simple. Edges are numbered in insertion order of
+/// their *first* occurrence.
+///
+/// # Example
+///
+/// ```
+/// use symbreak_graphs::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(0)); // duplicate, ignored
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    seen: BTreeSet<(NodeId, NodeId)>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            num_nodes: n,
+            seen: BTreeSet::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of (deduplicated) edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Ensures the graph has at least `n` nodes.
+    pub fn grow_to(&mut self, n: usize) -> &mut Self {
+        if n > self.num_nodes {
+            self.num_nodes = n;
+        }
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if the edge is new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self-loop) or if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(u != v, "self-loop {u} is not allowed in a simple graph");
+        assert!(
+            u.index() < self.num_nodes && v.index() < self.num_nodes,
+            "edge {{{u}, {v}}} has an endpoint outside 0..{}",
+            self.num_nodes
+        );
+        let key = if u < v { (u, v) } else { (v, u) };
+        if self.seen.insert(key) {
+            self.edges.push(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adds every edge from an iterator of `(u, v)` pairs.
+    pub fn add_edges<I>(&mut self, edges: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Returns `true` if the edge `{u, v}` has already been added.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.seen.contains(&key)
+    }
+
+    /// Finalises the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); self.num_nodes];
+        for (i, &(u, v)) in self.edges.iter().enumerate() {
+            let e = EdgeId(i as u32);
+            adj[u.index()].push((v, e));
+            adj[v.index()].push((u, e));
+        }
+        for row in &mut adj {
+            row.sort_unstable_by_key(|&(w, _)| w);
+        }
+        Graph::from_parts(adj, self.edges)
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for GraphBuilder {
+    /// Collects an edge list into a builder sized to the largest endpoint.
+    fn from_iter<T: IntoIterator<Item = (NodeId, NodeId)>>(iter: T) -> Self {
+        let edges: Vec<(NodeId, NodeId)> = iter.into_iter().collect();
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.index().max(v.index()) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut b = GraphBuilder::new(n);
+        b.add_edges(edges);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_edges() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(NodeId(0), NodeId(1)));
+        assert!(!b.add_edge(NodeId(1), NodeId(0)));
+        assert!(b.add_edge(NodeId(1), NodeId(2)));
+        assert_eq!(b.num_edges(), 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn reject_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn reject_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    fn grow_to_extends_node_count() {
+        let mut b = GraphBuilder::new(2);
+        b.grow_to(10);
+        b.add_edge(NodeId(0), NodeId(9));
+        assert_eq!(b.build().num_nodes(), 10);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max_endpoint() {
+        let b: GraphBuilder = vec![(NodeId(0), NodeId(3)), (NodeId(2), NodeId(1))]
+            .into_iter()
+            .collect();
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn contains_edge_is_order_insensitive() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(2), NodeId(0));
+        assert!(b.contains_edge(NodeId(0), NodeId(2)));
+        assert!(b.contains_edge(NodeId(2), NodeId(0)));
+        assert!(!b.contains_edge(NodeId(1), NodeId(2)));
+    }
+}

@@ -1,0 +1,294 @@
+//! Graph families used throughout the paper's evaluation and lower bounds.
+
+use rand::Rng;
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Graph with `n` nodes and no edges.
+pub fn empty(n: usize) -> Graph {
+    Graph::empty(n)
+}
+
+/// Path `v0 - v1 - … - v(n-1)` with `n ≥ 0` nodes.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId((i - 1) as u32), NodeId(i as u32));
+    }
+    b.build()
+}
+
+/// Cycle on `n ≥ 3` nodes (for `n < 3` this degenerates to a path).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId((i - 1) as u32), NodeId(i as u32));
+    }
+    if n >= 3 {
+        b.add_edge(NodeId((n - 1) as u32), NodeId(0));
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn clique(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(NodeId(i as u32), NodeId(j as u32));
+        }
+    }
+    b.build()
+}
+
+/// Star graph with one centre (node 0) and `n − 1` leaves.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId(0), NodeId(i as u32));
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}`; the first `a` nodes form one side.
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    let mut b = GraphBuilder::new(a + b_size);
+    for i in 0..a {
+        for j in 0..b_size {
+            b.add_edge(NodeId(i as u32), NodeId((a + j) as u32));
+        }
+    }
+    b.build()
+}
+
+/// The layered tripartite graph used as one half of the Section 2.2 lower
+/// bound construction: parts `X`, `Y`, `Z` of size `t` each, with the
+/// subgraphs induced by `X ∪ Y` and `Y ∪ Z` both complete bipartite.
+///
+/// Nodes `0..t` are `X`, `t..2t` are `Y` and `2t..3t` are `Z`.
+pub fn layered_tripartite(t: usize) -> Graph {
+    let mut b = GraphBuilder::new(3 * t);
+    for x in 0..t {
+        for y in 0..t {
+            b.add_edge(NodeId(x as u32), NodeId((t + y) as u32));
+        }
+    }
+    for y in 0..t {
+        for z in 0..t {
+            b.add_edge(NodeId((t + y) as u32), NodeId((2 * t + z) as u32));
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi random graph `G(n, p)`: every unordered pair is an edge
+/// independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `0.0 ≤ p ≤ 1.0`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability p={p} out of range");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 {
+        return b.build();
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if p >= 1.0 || rng.gen_bool(p) {
+                b.add_edge(NodeId(i as u32), NodeId(j as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `G(n, p)` conditioned on connectivity: edges of a random Hamiltonian-ish
+/// path are added first so the result is always connected, then `G(n, p)`
+/// edges on top. Useful for experiments that need a diameter.
+pub fn connected_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability p={p} out of range");
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    // Fisher–Yates shuffle for a random spanning path.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut b = GraphBuilder::new(n);
+    for w in order.windows(2) {
+        b.add_edge(NodeId(w[0]), NodeId(w[1]));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if p >= 1.0 || (p > 0.0 && rng.gen_bool(p)) {
+                b.add_edge(NodeId(i as u32), NodeId(j as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random bipartite graph on parts of size `a` and `b_size` where each of the
+/// `a·b` cross pairs is an edge independently with probability `p`.
+pub fn random_bipartite<R: Rng + ?Sized>(a: usize, b_size: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability p={p} out of range");
+    let mut b = GraphBuilder::new(a + b_size);
+    for i in 0..a {
+        for j in 0..b_size {
+            if p >= 1.0 || (p > 0.0 && rng.gen_bool(p)) {
+                b.add_edge(NodeId(i as u32), NodeId((a + j) as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Disjoint union of graphs; node identifiers of later graphs are shifted by
+/// the sizes of the earlier ones.
+pub fn disjoint_union(graphs: &[Graph]) -> Graph {
+    let total: usize = graphs.iter().map(Graph::num_nodes).sum();
+    let mut b = GraphBuilder::new(total);
+    let mut offset = 0u32;
+    for g in graphs {
+        for (_, u, v) in g.edges() {
+            b.add_edge(NodeId(u.0 + offset), NodeId(v.0 + offset));
+        }
+        offset += g.num_nodes() as u32;
+    }
+    b.build()
+}
+
+/// `count` disjoint cycles of length `len` each — the hard family behind the
+/// Ω(n) KT-ρ lower bound (Theorem 2.17).
+pub fn disjoint_cycles(count: usize, len: usize) -> Graph {
+    let cycles: Vec<Graph> = (0..count).map(|_| cycle(len)).collect();
+    disjoint_union(&cycles)
+}
+
+/// Random `d`-regular-ish graph produced by superimposing `d` random perfect
+/// matchings (requires even `n`); parallel edges are dropped so the actual
+/// degree can be slightly below `d`.
+pub fn random_near_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(n % 2 == 0, "random_near_regular needs an even number of nodes");
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..d {
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for pair in perm.chunks(2) {
+            if pair[0] != pair[1] {
+                b.add_edge(NodeId(pair[0]), NodeId(pair[1]));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_and_cycle_sizes() {
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(cycle(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn clique_edge_count() {
+        assert_eq!(clique(6).num_edges(), 15);
+        assert_eq!(clique(0).num_edges(), 0);
+        assert_eq!(clique(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(NodeId(0)), 4);
+        assert_eq!(g.degree(NodeId(3)), 3);
+    }
+
+    #[test]
+    fn layered_tripartite_structure() {
+        let t = 4;
+        let g = layered_tripartite(t);
+        assert_eq!(g.num_nodes(), 3 * t);
+        assert_eq!(g.num_edges(), 2 * t * t);
+        // X nodes have degree t, Y nodes 2t, Z nodes t.
+        assert_eq!(g.degree(NodeId(0)), t);
+        assert_eq!(g.degree(NodeId(t as u32)), 2 * t);
+        assert_eq!(g.degree(NodeId(2 * t as u32)), t);
+        // No X–Z edges.
+        assert!(!g.has_edge(NodeId(0), NodeId(2 * t as u32)));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_density_is_reasonable() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = gnp(200, 0.25, &mut rng);
+        let expected = 0.25 * (200.0 * 199.0 / 2.0);
+        let actual = g.num_edges() as f64;
+        assert!((actual - expected).abs() < 0.15 * expected, "m={actual} vs {expected}");
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &p in &[0.0, 0.01, 0.3] {
+            let g = connected_gnp(50, p, &mut rng);
+            assert!(properties::is_connected(&g), "p={p}");
+        }
+    }
+
+    #[test]
+    fn disjoint_cycles_structure() {
+        let g = disjoint_cycles(4, 5);
+        assert_eq!(g.num_nodes(), 20);
+        assert_eq!(g.num_edges(), 20);
+        let (_, k) = properties::connected_components(&g);
+        assert_eq!(k, 4);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn random_bipartite_has_no_intra_part_edges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = random_bipartite(6, 6, 0.8, &mut rng);
+        for (_, u, v) in g.edges() {
+            let left = |w: NodeId| w.index() < 6;
+            assert_ne!(left(u), left(v));
+        }
+    }
+
+    #[test]
+    fn random_near_regular_degrees() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_near_regular(20, 4, &mut rng);
+        for v in g.nodes() {
+            assert!(g.degree(v) <= 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gnp_rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = gnp(5, 1.5, &mut rng);
+    }
+}

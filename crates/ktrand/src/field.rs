@@ -1,0 +1,108 @@
+//! Arithmetic in the Mersenne prime field `GF(p)` with `p = 2^61 − 1`.
+//!
+//! The field is large enough to hold any ID from a polynomial-size ID space
+//! (the paper assumes IDs of `O(log n)` bits), and the Mersenne structure
+//! makes reduction branch-light and fast, which matters because the
+//! simulator evaluates hash functions `Θ(n·Δ)` times per experiment.
+
+/// The field modulus `p = 2^61 − 1` (a Mersenne prime).
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// Reduces an arbitrary `u64` into `[0, p)`.
+#[inline]
+pub fn reduce(x: u64) -> u64 {
+    let r = (x & MODULUS) + (x >> 61);
+    if r >= MODULUS {
+        r - MODULUS
+    } else {
+        r
+    }
+}
+
+/// Reduces a 128-bit product into `[0, p)`.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    let lo = (x & MODULUS as u128) as u64;
+    let hi = (x >> 61) as u64;
+    reduce(lo.wrapping_add(reduce(hi)))
+}
+
+/// Field addition.
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    reduce(reduce(a) + reduce(b))
+}
+
+/// Field multiplication.
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    reduce128(reduce(a) as u128 * reduce(b) as u128)
+}
+
+/// Evaluates the polynomial `coeffs[0] + coeffs[1]·x + coeffs[2]·x² + …`
+/// over the field using Horner's rule.
+#[inline]
+pub fn poly_eval(coeffs: &[u64], x: u64) -> u64 {
+    let x = reduce(x);
+    let mut acc = 0u64;
+    for &c in coeffs.iter().rev() {
+        acc = add(mul(acc, x), c);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_identities() {
+        assert_eq!(reduce(0), 0);
+        assert_eq!(reduce(MODULUS), 0);
+        assert_eq!(reduce(MODULUS + 5), 5);
+        // 2^64 − 1 = 8·(2^61 − 1) + 7, so the residue is 7.
+        assert_eq!(reduce(u64::MAX), 7);
+    }
+
+    #[test]
+    fn add_wraps_correctly() {
+        assert_eq!(add(MODULUS - 1, 1), 0);
+        assert_eq!(add(MODULUS - 1, 2), 1);
+        assert_eq!(add(3, 4), 7);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let cases = [
+            (0u64, 12345u64),
+            (1, MODULUS - 1),
+            (123_456_789, 987_654_321),
+            (MODULUS - 1, MODULUS - 1),
+            (1 << 60, 3),
+        ];
+        for (a, b) in cases {
+            let expect = ((a as u128 % MODULUS as u128) * (b as u128 % MODULUS as u128)
+                % MODULUS as u128) as u64;
+            assert_eq!(mul(a, b), expect, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        // 2 + 3x + x² at x = 5 → 2 + 15 + 25 = 42.
+        assert_eq!(poly_eval(&[2, 3, 1], 5), 42);
+        // Constant polynomial.
+        assert_eq!(poly_eval(&[7], 1_000_000), 7);
+        // Empty polynomial is zero.
+        assert_eq!(poly_eval(&[], 99), 0);
+    }
+
+    #[test]
+    fn all_outputs_are_reduced() {
+        for x in [0u64, 1, MODULUS - 1, MODULUS, u64::MAX] {
+            assert!(reduce(x) < MODULUS);
+            assert!(mul(x, x) < MODULUS);
+            assert!(add(x, x) < MODULUS);
+        }
+    }
+}

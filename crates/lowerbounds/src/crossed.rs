@@ -1,0 +1,374 @@
+//! The Section 2.2 lower-bound construction: the base graph `G ∪ G′`, the
+//! crossed graphs `G_{e,e′}`, and the carefully shifted ID assignments.
+//!
+//! The base graph consists of two copies of a layered tripartite graph
+//! (parts `X`, `Y`, `Z` of size `t` with `X–Y` and `Y–Z` complete bipartite).
+//! A crossed graph replaces the edges `e = {y, z}` and `e′ = {x′, y′}` by
+//! `{y, y′}` and `{x′, z}`. The ID assignment `ψ_{e,e′}` shifts the IDs of
+//! the primed copy so that a comparison-based algorithm cannot distinguish
+//! the two graphs unless it *utilizes* `e` or `e′` (Definition 2.3).
+
+use symbreak_graphs::{Graph, GraphBuilder, IdAssignment, NodeId};
+
+/// Which of the six parts a node belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossedPart {
+    /// Part `X` of the first copy.
+    X,
+    /// Part `Y` of the first copy.
+    Y,
+    /// Part `Z` of the first copy.
+    Z,
+    /// Part `X′` of the second copy.
+    XPrime,
+    /// Part `Y′` of the second copy.
+    YPrime,
+    /// Part `Z′` of the second copy.
+    ZPrime,
+}
+
+/// A choice of the crossing: indices (in `0..t`) of `x ∈ X`, `y ∈ Y`,
+/// `z ∈ Z`; the crossed pair is `e = {y, z}` and `e′ = {x′, y′}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crossing {
+    /// Index of `x` within `X` (and of `x′` within `X′`).
+    pub x: usize,
+    /// Index of `y` within `Y` (and of `y′` within `Y′`).
+    pub y: usize,
+    /// Index of `z` within `Z` (and of `z′` within `Z′`).
+    pub z: usize,
+}
+
+/// The lower-bound family parameterised by the part size `t` (so `n = 6t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossedFamily {
+    t: usize,
+}
+
+impl CrossedFamily {
+    /// Creates the family with part size `t ≥ 1` (n = 6t nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    pub fn new(t: usize) -> Self {
+        assert!(t >= 1, "the construction needs t ≥ 1");
+        CrossedFamily { t }
+    }
+
+    /// The part size `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Number of nodes `n = 6t`.
+    pub fn num_nodes(&self) -> usize {
+        6 * self.t
+    }
+
+    /// Number of crossed graphs in the family `|F| = t³`.
+    pub fn family_size(&self) -> usize {
+        self.t * self.t * self.t
+    }
+
+    /// The node of a given part and index.
+    pub fn node(&self, part: CrossedPart, index: usize) -> NodeId {
+        assert!(index < self.t, "index {index} out of range for t = {}", self.t);
+        let base = match part {
+            CrossedPart::X => 0,
+            CrossedPart::Y => self.t,
+            CrossedPart::Z => 2 * self.t,
+            CrossedPart::XPrime => 3 * self.t,
+            CrossedPart::YPrime => 4 * self.t,
+            CrossedPart::ZPrime => 5 * self.t,
+        };
+        NodeId((base + index) as u32)
+    }
+
+    /// The part of a node.
+    pub fn part_of(&self, v: NodeId) -> CrossedPart {
+        match v.index() / self.t {
+            0 => CrossedPart::X,
+            1 => CrossedPart::Y,
+            2 => CrossedPart::Z,
+            3 => CrossedPart::XPrime,
+            4 => CrossedPart::YPrime,
+            _ => CrossedPart::ZPrime,
+        }
+    }
+
+    fn add_copy_edges(&self, b: &mut GraphBuilder, offset: usize) {
+        for i in 0..self.t {
+            for j in 0..self.t {
+                // X–Y
+                b.add_edge(
+                    NodeId((offset + i) as u32),
+                    NodeId((offset + self.t + j) as u32),
+                );
+                // Y–Z
+                b.add_edge(
+                    NodeId((offset + self.t + i) as u32),
+                    NodeId((offset + 2 * self.t + j) as u32),
+                );
+            }
+        }
+    }
+
+    /// The base graph `G ∪ G′` (two disjoint copies, `4t²` edges).
+    pub fn base_graph(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.num_nodes());
+        self.add_copy_edges(&mut b, 0);
+        self.add_copy_edges(&mut b, 3 * self.t);
+        b.build()
+    }
+
+    /// The crossed graph `G_{e,e′}` for the given crossing: edges
+    /// `{y, z}` and `{x′, y′}` are replaced by `{y, y′}` and `{x′, z}`.
+    pub fn crossed_graph(&self, crossing: Crossing) -> Graph {
+        let y = self.node(CrossedPart::Y, crossing.y);
+        let z = self.node(CrossedPart::Z, crossing.z);
+        let xp = self.node(CrossedPart::XPrime, crossing.x);
+        let yp = self.node(CrossedPart::YPrime, crossing.y);
+        let base = self.base_graph();
+        let mut b = GraphBuilder::new(self.num_nodes());
+        for (_, u, v) in base.edges() {
+            let is_e = (u, v) == ordered(y, z);
+            let is_ep = (u, v) == ordered(xp, yp);
+            if !is_e && !is_ep {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(y, yp);
+        b.add_edge(xp, z);
+        b.build()
+    }
+
+    /// The crossed pair `(e, e′)` as node pairs (`e = {y, z}`,
+    /// `e′ = {x′, y′}`) — these are the edges of the *base* graph that the
+    /// dichotomy of Lemma 2.9/2.13 talks about.
+    pub fn crossed_pair(&self, crossing: Crossing) -> ((NodeId, NodeId), (NodeId, NodeId)) {
+        (
+            (
+                self.node(CrossedPart::Y, crossing.y),
+                self.node(CrossedPart::Z, crossing.z),
+            ),
+            (
+                self.node(CrossedPart::XPrime, crossing.x),
+                self.node(CrossedPart::YPrime, crossing.y),
+            ),
+        )
+    }
+
+    /// The unprimed ID assignment `φ` of Section 2.2 restricted to `V`
+    /// (returned as the value for every node of `V ∪ V′`, with the primed
+    /// copy's IDs left at the plain "copy" values `φ(v) + 1`); use
+    /// [`Self::psi`] for the execution-relevant assignment.
+    ///
+    /// `φ(v)` is even, and lies in `[0, 2t)` for `X`, `[10t, 12t)` for `Y`
+    /// and `[20t, 22t)` for `Z`.
+    pub fn phi(&self, part: CrossedPart, index: usize) -> u64 {
+        let t = self.t as u64;
+        let i = index as u64;
+        match part {
+            CrossedPart::X | CrossedPart::XPrime => 2 * i,
+            CrossedPart::Y | CrossedPart::YPrime => 10 * t + 2 * i,
+            CrossedPart::Z | CrossedPart::ZPrime => 20 * t + 2 * i,
+        }
+    }
+
+    /// The shifted ID assignment `φ′_{e,e′}` for the primed copy (equation
+    /// (1) of the paper): `X′` is shifted by `φ(y) − φ(x) + 1`, `Y′` by
+    /// `φ(z) − φ(y) + 1`, and `Z′` by `10t + 1`.
+    pub fn phi_prime(&self, crossing: Crossing, part: CrossedPart, index: usize) -> u64 {
+        let t = self.t as u64;
+        let phi_x = self.phi(CrossedPart::X, crossing.x);
+        let phi_y = self.phi(CrossedPart::Y, crossing.y);
+        let phi_z = self.phi(CrossedPart::Z, crossing.z);
+        let base = self.phi(part, index);
+        match part {
+            CrossedPart::XPrime => base + (phi_y - phi_x) + 1,
+            CrossedPart::YPrime => base + (phi_z - phi_y) + 1,
+            CrossedPart::ZPrime => base + 10 * t + 1,
+            _ => panic!("phi_prime is only defined on the primed parts"),
+        }
+    }
+
+    /// The full ID assignment `ψ_{e,e′}` on `V ∪ V′` (Section 2.2): `φ` on
+    /// the unprimed copy and `φ′_{e,e′}` on the primed copy.
+    pub fn psi(&self, crossing: Crossing) -> IdAssignment {
+        let ids = (0..self.num_nodes())
+            .map(|i| {
+                let v = NodeId(i as u32);
+                let part = self.part_of(v);
+                let index = i % self.t;
+                match part {
+                    CrossedPart::X | CrossedPart::Y | CrossedPart::Z => self.phi(part, index),
+                    _ => self.phi_prime(crossing, part, index),
+                }
+            })
+            .collect();
+        IdAssignment::from_vec(ids)
+    }
+
+    /// The intermediate assignment `ψ_{e,e′,x}`: `ψ` with the IDs of `x′`
+    /// and `y` swapped (used in Lemma 2.5).
+    pub fn psi_swap_x(&self, crossing: Crossing) -> IdAssignment {
+        let mut ids: Vec<u64> = self.psi(crossing).as_slice().to_vec();
+        let y = self.node(CrossedPart::Y, crossing.y).index();
+        let xp = self.node(CrossedPart::XPrime, crossing.x).index();
+        ids.swap(y, xp);
+        IdAssignment::from_vec(ids)
+    }
+
+    /// The intermediate assignment `ψ_{e,e′,z}`: `ψ` with the IDs of `y′`
+    /// and `z` swapped (used in Lemma 2.5).
+    pub fn psi_swap_z(&self, crossing: Crossing) -> IdAssignment {
+        let mut ids: Vec<u64> = self.psi(crossing).as_slice().to_vec();
+        let z = self.node(CrossedPart::Z, crossing.z).index();
+        let yp = self.node(CrossedPart::YPrime, crossing.y).index();
+        ids.swap(z, yp);
+        IdAssignment::from_vec(ids)
+    }
+
+    /// Enumerates all `t³` crossings.
+    pub fn crossings(&self) -> impl Iterator<Item = Crossing> + '_ {
+        let t = self.t;
+        (0..t).flat_map(move |x| {
+            (0..t).flat_map(move |y| (0..t).map(move |z| Crossing { x, y, z }))
+        })
+    }
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbreak_graphs::properties;
+
+    #[test]
+    fn base_graph_shape() {
+        let fam = CrossedFamily::new(4);
+        let g = fam.base_graph();
+        assert_eq!(g.num_nodes(), 24);
+        assert_eq!(g.num_edges(), 4 * 16);
+        let (_, comps) = properties::connected_components(&g);
+        assert_eq!(comps, 2);
+        // Degrees: X and Z nodes have degree t, Y nodes 2t.
+        assert_eq!(g.degree(fam.node(CrossedPart::X, 0)), 4);
+        assert_eq!(g.degree(fam.node(CrossedPart::Y, 1)), 8);
+        assert_eq!(g.degree(fam.node(CrossedPart::ZPrime, 3)), 4);
+    }
+
+    #[test]
+    fn crossed_graph_swaps_exactly_two_edges() {
+        let fam = CrossedFamily::new(3);
+        let crossing = Crossing { x: 1, y: 2, z: 0 };
+        let base = fam.base_graph();
+        let crossed = fam.crossed_graph(crossing);
+        assert_eq!(base.num_edges(), crossed.num_edges());
+        let ((y, z), (xp, yp)) = fam.crossed_pair(crossing);
+        assert!(base.has_edge(y, z) && !crossed.has_edge(y, z));
+        assert!(base.has_edge(xp, yp) && !crossed.has_edge(xp, yp));
+        assert!(!base.has_edge(y, yp) && crossed.has_edge(y, yp));
+        assert!(!base.has_edge(xp, z) && crossed.has_edge(xp, z));
+        // The crossed graph is connected (the two copies are now linked).
+        assert!(properties::is_connected(&crossed));
+        // Degrees are preserved — that is what makes the crossing invisible.
+        for v in base.nodes() {
+            assert_eq!(base.degree(v), crossed.degree(v));
+        }
+    }
+
+    #[test]
+    fn psi_satisfies_the_three_observations() {
+        let fam = CrossedFamily::new(5);
+        let crossing = Crossing { x: 2, y: 3, z: 1 };
+        let psi = fam.psi(crossing);
+        let t = 5u64;
+        // (i) ranges of φ and φ′ are disjoint: φ is even, φ′ is odd.
+        for v in 0..fam.num_nodes() {
+            let id = psi.id_of(NodeId(v as u32));
+            let primed = v >= 3 * fam.t();
+            assert_eq!(id % 2 == 1, primed, "node {v}");
+        }
+        // (ii) the stated ranges hold.
+        for i in 0..fam.t() {
+            let xp = psi.id_of(fam.node(CrossedPart::XPrime, i));
+            assert!((8 * t + 1..=14 * t + 1).contains(&xp));
+            let yp = psi.id_of(fam.node(CrossedPart::YPrime, i));
+            assert!((18 * t + 1..=24 * t + 1).contains(&yp));
+            let zp = psi.id_of(fam.node(CrossedPart::ZPrime, i));
+            assert!((30 * t + 1..=32 * t + 1).contains(&zp));
+        }
+        // (iii) the primed copy is order-isomorphic to the unprimed copy.
+        let unprimed: Vec<u64> = (0..3 * fam.t())
+            .map(|i| psi.id_of(NodeId(i as u32)))
+            .collect();
+        let primed: Vec<u64> = (3 * fam.t()..6 * fam.t())
+            .map(|i| psi.id_of(NodeId(i as u32)))
+            .collect();
+        for a in 0..unprimed.len() {
+            for b in 0..unprimed.len() {
+                assert_eq!(
+                    unprimed[a] < unprimed[b],
+                    primed[a] < primed[b],
+                    "order disagreement at ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_of_shifted_ids_matches_lemma_2_5() {
+        // ψ(x′) = φ(y) + 1 and ψ(y′) = φ(z) + 1: the swapped assignments are
+        // order-equivalent to ψ itself.
+        let fam = CrossedFamily::new(4);
+        for crossing in [
+            Crossing { x: 0, y: 0, z: 0 },
+            Crossing { x: 3, y: 2, z: 1 },
+            Crossing { x: 1, y: 3, z: 3 },
+        ] {
+            let psi = fam.psi(crossing);
+            let y = fam.node(CrossedPart::Y, crossing.y);
+            let z = fam.node(CrossedPart::Z, crossing.z);
+            let xp = fam.node(CrossedPart::XPrime, crossing.x);
+            let yp = fam.node(CrossedPart::YPrime, crossing.y);
+            assert_eq!(psi.id_of(xp), psi.id_of(y) + 1);
+            assert_eq!(psi.id_of(yp), psi.id_of(z) + 1);
+            // The intermediate assignments swap exactly one adjacent pair of
+            // ID values, so every comparison not involving that pair is
+            // unchanged (this is what drives Lemma 2.5).
+            let swapped = fam.psi_swap_x(crossing);
+            assert_eq!(swapped.id_of(y), psi.id_of(xp));
+            assert_eq!(swapped.id_of(xp), psi.id_of(y));
+            for v in fam.base_graph().nodes() {
+                if v != y && v != xp {
+                    assert_eq!(swapped.id_of(v), psi.id_of(v));
+                }
+            }
+            let swapped = fam.psi_swap_z(crossing);
+            assert_eq!(swapped.id_of(z), psi.id_of(yp));
+            assert_eq!(swapped.id_of(yp), psi.id_of(z));
+        }
+    }
+
+    #[test]
+    fn family_size_and_enumeration_agree() {
+        let fam = CrossedFamily::new(3);
+        assert_eq!(fam.family_size(), 27);
+        assert_eq!(fam.crossings().count(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "t ≥ 1")]
+    fn zero_t_rejected() {
+        let _ = CrossedFamily::new(0);
+    }
+}

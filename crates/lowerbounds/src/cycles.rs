@@ -1,0 +1,186 @@
+//! The disjoint-cycle family behind the Ω(n) KT-ρ lower bound
+//! (Theorem 2.17).
+//!
+//! The graph is `n/k` disjoint cycles of length `k`, where `k` is chosen so
+//! that `log* k ≥ 2(ρ + 3)`; each cycle receives IDs from its own disjoint
+//! integer range. Any algorithm that sends `o(n)` messages must leave some
+//! cycle completely silent, and a silent cycle's output is a function of
+//! each node's radius-ρ initial knowledge only — which, by Linial/Naor,
+//! cannot 3-colour the cycle for every ID assignment. The helpers here build
+//! the family and search for the failing ID assignments empirically.
+
+use rand::Rng;
+use symbreak_graphs::{generators, Graph, IdAssignment, NodeId};
+
+/// The disjoint-cycle family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleFamily {
+    /// Number of cycles.
+    pub count: usize,
+    /// Length of each cycle (`k ≥ 3`).
+    pub len: usize,
+}
+
+impl CycleFamily {
+    /// Creates a family of `count` cycles of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 3` or `count == 0`.
+    pub fn new(count: usize, len: usize) -> Self {
+        assert!(len >= 3, "cycles need length at least 3");
+        assert!(count >= 1, "at least one cycle is required");
+        CycleFamily { count, len }
+    }
+
+    /// Total number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.count * self.len
+    }
+
+    /// Builds the graph.
+    pub fn graph(&self) -> Graph {
+        generators::disjoint_cycles(self.count, self.len)
+    }
+
+    /// Which cycle a node belongs to.
+    pub fn cycle_of(&self, v: NodeId) -> usize {
+        v.index() / self.len
+    }
+
+    /// An ID assignment in which cycle `i` draws its IDs from the disjoint
+    /// range `[i·R, (i+1)·R)` with `R = 2·len`, permuted by `rng`.
+    pub fn ids<R: Rng + ?Sized>(&self, rng: &mut R) -> IdAssignment {
+        let range = 2 * self.len as u64;
+        let mut ids = Vec::with_capacity(self.num_nodes());
+        for cycle in 0..self.count {
+            let mut pool: Vec<u64> =
+                (0..self.len as u64).map(|j| cycle as u64 * range + 2 * j).collect();
+            for i in (1..pool.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                pool.swap(i, j);
+            }
+            ids.extend(pool);
+        }
+        IdAssignment::from_vec(ids)
+    }
+}
+
+/// A "silent" radius-ρ rule: each node outputs a colour as a function of the
+/// IDs it sees within radius ρ on its cycle (own ID in the middle). This is
+/// exactly what a node is reduced to on a cycle that sent no messages.
+pub type SilentRule = fn(&[u64]) -> u64;
+
+/// The window of `2ρ + 1` IDs a node sees on its own cycle under KT-ρ.
+fn window(ids: &IdAssignment, family: &CycleFamily, v: NodeId, rho: usize) -> Vec<u64> {
+    let cycle = family.cycle_of(v);
+    let base = cycle * family.len;
+    let pos = v.index() - base;
+    (-(rho as isize)..=rho as isize)
+        .map(|off| {
+            let p = (pos as isize + off).rem_euclid(family.len as isize) as usize;
+            ids.id_of(NodeId((base + p) as u32))
+        })
+        .collect()
+}
+
+/// Applies a silent rule to every node of the family and checks whether the
+/// result is a proper colouring of every cycle. Returns the first
+/// monochromatic edge found, if any.
+pub fn silent_rule_violation(
+    family: &CycleFamily,
+    ids: &IdAssignment,
+    rho: usize,
+    rule: SilentRule,
+) -> Option<(NodeId, NodeId)> {
+    let graph = family.graph();
+    let colors: Vec<u64> = graph
+        .nodes()
+        .map(|v| rule(&window(ids, family, v, rho)))
+        .collect();
+    let violation = graph
+        .edges()
+        .find(|&(_, u, v)| colors[u.index()] == colors[v.index()])
+        .map(|(_, u, v)| (u, v));
+    violation
+}
+
+/// Searches random ID assignments for one on which the given silent rule
+/// fails to 3-colour some cycle. Returns the number of assignments tried
+/// before a failure was found (`None` if all `attempts` succeeded — which
+/// the Linial/Naor bound says should not happen for long cycles).
+pub fn find_failing_assignment<R: Rng + ?Sized>(
+    family: &CycleFamily,
+    rho: usize,
+    rule: SilentRule,
+    attempts: usize,
+    rng: &mut R,
+) -> Option<usize> {
+    for attempt in 0..attempts {
+        let ids = family.ids(rng);
+        if silent_rule_violation(family, &ids, rho, rule).is_some() {
+            return Some(attempt + 1);
+        }
+    }
+    None
+}
+
+/// A natural silent rule: colour = rank of the node's own ID among the IDs
+/// in its window, reduced mod 3.
+pub fn rank_mod3_rule(window: &[u64]) -> u64 {
+    let own = window[window.len() / 2];
+    let rank = window.iter().filter(|&&x| x < own).count() as u64;
+    rank % 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn family_shape_and_ids() {
+        let fam = CycleFamily::new(5, 7);
+        let g = fam.graph();
+        assert_eq!(g.num_nodes(), 35);
+        assert_eq!(g.num_edges(), 35);
+        assert_eq!(fam.cycle_of(NodeId(0)), 0);
+        assert_eq!(fam.cycle_of(NodeId(34)), 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ids = fam.ids(&mut rng);
+        // IDs of different cycles come from disjoint ranges.
+        for v in g.nodes() {
+            let cycle = fam.cycle_of(v) as u64;
+            let id = ids.id_of(v);
+            assert!(id >= cycle * 14 && id < (cycle + 1) * 14);
+        }
+    }
+
+    #[test]
+    fn window_has_correct_shape() {
+        let fam = CycleFamily::new(1, 5);
+        let ids = IdAssignment::from_vec(vec![10, 20, 30, 40, 50]);
+        let w = window(&ids, &fam, NodeId(0), 1);
+        assert_eq!(w, vec![50, 10, 20]);
+        let w = window(&ids, &fam, NodeId(3), 2);
+        assert_eq!(w, vec![20, 30, 40, 50, 10]);
+    }
+
+    #[test]
+    fn rank_rule_fails_on_some_assignment() {
+        // Theorem 2.17's mechanism: any radius-ρ silent rule fails on some ID
+        // assignment of a long enough cycle; for the natural rank rule a
+        // failing assignment is found quickly by random search.
+        let fam = CycleFamily::new(4, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let found = find_failing_assignment(&fam, 1, rank_mod3_rule, 200, &mut rng);
+        assert!(found.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "length at least 3")]
+    fn short_cycles_rejected() {
+        let _ = CycleFamily::new(2, 2);
+    }
+}

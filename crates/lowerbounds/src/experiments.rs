@@ -1,0 +1,251 @@
+//! Empirical counterparts of the Section 2 lower bounds.
+//!
+//! The theorems are information-theoretic, but their mechanism is directly
+//! observable in the simulator:
+//!
+//! * a *correct* comparison-based algorithm running on the base graph
+//!   `G ∪ G′` with the ψ ID assignment utilizes Θ(n²) edges — in particular,
+//!   for (almost) every crossing `(e, e′)` at least one of the two edges is
+//!   utilized (otherwise Lemma 2.9/2.13 shows the algorithm would be wrong on
+//!   the crossed graph `G_{e,e′}`);
+//! * on the disjoint-cycle family, any algorithm whose messages are `o(n)`
+//!   must leave cycles silent, and silent cycles cannot be coloured for all
+//!   ID assignments (Theorem 2.17). Measured message counts of the actual
+//!   algorithms are Ω(n) on this family.
+
+use rand::Rng;
+use symbreak_classic::{coloring, mis};
+use symbreak_congest::{ExecutionReport, SyncConfig};
+use symbreak_graphs::Graph;
+
+use crate::crossed::{CrossedFamily, Crossing};
+use crate::cycles::CycleFamily;
+
+/// Which algorithm to exercise in a lower-bound experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Problem {
+    /// (Δ+1)-coloring (via the Johansson baseline — comparison-based).
+    Coloring,
+    /// MIS (via Luby's algorithm — comparison-based).
+    Mis,
+}
+
+/// Statistics of a crossed-family utilization experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossedStats {
+    /// Part size `t` of the family (n = 6t).
+    pub t: usize,
+    /// Number of sampled crossings.
+    pub samples: usize,
+    /// How many sampled crossings had `e` or `e′` utilized.
+    pub pair_utilized: usize,
+    /// Average number of utilized edges per run.
+    pub avg_utilized_edges: f64,
+    /// Average number of messages per run.
+    pub avg_messages: f64,
+    /// Total number of edges of the base graph (`4t²`).
+    pub base_edges: usize,
+}
+
+impl CrossedStats {
+    /// Fraction of sampled crossings whose pair was utilized.
+    pub fn pair_utilized_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.pair_utilized as f64 / self.samples as f64
+        }
+    }
+
+    /// Average fraction of base-graph edges utilized.
+    pub fn utilized_fraction(&self) -> f64 {
+        self.avg_utilized_edges / self.base_edges.max(1) as f64
+    }
+}
+
+fn run_problem(problem: Problem, graph: &Graph, ids: &symbreak_graphs::IdAssignment, seed: u64) -> ExecutionReport {
+    let config = SyncConfig {
+        track_utilization: true,
+        ..SyncConfig::default()
+    };
+    match problem {
+        Problem::Coloring => {
+            let (colors, report) = coloring::baseline::run(graph, ids, seed, config);
+            assert!(
+                coloring::verify::is_proper_coloring(graph, &colors),
+                "the comparison-based coloring must be correct for the dichotomy to apply"
+            );
+            report
+        }
+        Problem::Mis => {
+            let (in_mis, report) = mis::luby::run(graph, ids, seed, config);
+            assert!(mis::verify::is_mis(graph, &in_mis));
+            report
+        }
+    }
+}
+
+/// Runs a correct comparison-based algorithm on the base graph `G ∪ G′` for
+/// `samples` random crossings and measures edge utilization
+/// (Definition 2.3). This is the empirical face of Theorems 2.10–2.16: the
+/// algorithm utilizes a constant fraction of the Θ(n²) edges, and for the
+/// overwhelming majority of crossings at least one of `(e, e′)` is utilized.
+pub fn crossed_utilization_experiment<R: Rng + ?Sized>(
+    problem: Problem,
+    t: usize,
+    samples: usize,
+    rng: &mut R,
+) -> CrossedStats {
+    let family = CrossedFamily::new(t);
+    let base = family.base_graph();
+    let mut pair_utilized = 0;
+    let mut total_utilized = 0usize;
+    let mut total_messages = 0u64;
+    for _ in 0..samples {
+        let crossing = Crossing {
+            x: rng.gen_range(0..t),
+            y: rng.gen_range(0..t),
+            z: rng.gen_range(0..t),
+        };
+        let ids = family.psi(crossing);
+        let report = run_problem(problem, &base, &ids, rng.gen());
+        total_messages += report.messages;
+        total_utilized += report.utilized_edge_count().unwrap_or(0);
+        let ((y, z), (xp, yp)) = family.crossed_pair(crossing);
+        let e = base.edge_between(y, z).expect("e is a base edge");
+        let ep = base.edge_between(xp, yp).expect("e' is a base edge");
+        if report.is_utilized(e).unwrap_or(false) || report.is_utilized(ep).unwrap_or(false) {
+            pair_utilized += 1;
+        }
+    }
+    CrossedStats {
+        t,
+        samples,
+        pair_utilized,
+        avg_utilized_edges: total_utilized as f64 / samples.max(1) as f64,
+        avg_messages: total_messages as f64 / samples.max(1) as f64,
+        base_edges: base.num_edges(),
+    }
+}
+
+/// Result of the disjoint-cycle message measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleStats {
+    /// Total nodes `n`.
+    pub n: usize,
+    /// Messages the algorithm sent.
+    pub messages: u64,
+    /// Number of cycles that sent no message at all.
+    pub mute_cycles: usize,
+}
+
+/// Measures the messages a correct algorithm sends on the disjoint-cycle
+/// family (Theorem 2.17 says any correct algorithm needs Ω(n) in
+/// expectation, i.e. no more than a constant fraction of cycles can stay
+/// mute).
+pub fn cycle_message_experiment<R: Rng + ?Sized>(
+    problem: Problem,
+    count: usize,
+    len: usize,
+    rng: &mut R,
+) -> CycleStats {
+    let family = CycleFamily::new(count, len);
+    let graph = family.graph();
+    let ids = family.ids(rng);
+    let config = SyncConfig {
+        track_per_edge: true,
+        ..SyncConfig::default()
+    };
+    let report = match problem {
+        Problem::Coloring => {
+            let (colors, report) = coloring::baseline::run(&graph, &ids, rng.gen(), config);
+            assert!(coloring::verify::is_proper_coloring(&graph, &colors));
+            report
+        }
+        Problem::Mis => {
+            let (in_mis, report) = mis::luby::run(&graph, &ids, rng.gen(), config);
+            assert!(mis::verify::is_mis(&graph, &in_mis));
+            report
+        }
+    };
+    let per_edge = report
+        .per_edge_messages
+        .as_ref()
+        .expect("per-edge counters were requested");
+    let mut cycle_sent = vec![false; count];
+    for (e, u, _v) in graph.edges() {
+        if per_edge[e.index()] > 0 {
+            cycle_sent[family.cycle_of(u)] = true;
+        }
+    }
+    CycleStats {
+        n: graph.num_nodes(),
+        messages: report.messages,
+        mute_cycles: cycle_sent.iter().filter(|&&sent| !sent).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crossed_experiment_shows_heavy_utilization() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for problem in [Problem::Coloring, Problem::Mis] {
+            let stats = crossed_utilization_experiment(problem, 6, 8, &mut rng);
+            // A correct comparison-based algorithm utilizes a constant
+            // fraction of the Θ(n²) edges…
+            assert!(
+                stats.utilized_fraction() > 0.5,
+                "{problem:?}: utilized fraction {}",
+                stats.utilized_fraction()
+            );
+            // …and (for these algorithms, which talk over every edge) the
+            // crossed pair is utilized in every sampled run.
+            assert_eq!(stats.pair_utilized, stats.samples, "{problem:?}");
+            assert!(stats.avg_messages > 0.0);
+            assert_eq!(stats.base_edges, 4 * 36);
+        }
+    }
+
+    #[test]
+    fn utilized_edges_scale_quadratically_with_t() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let small = crossed_utilization_experiment(Problem::Coloring, 4, 4, &mut rng);
+        let large = crossed_utilization_experiment(Problem::Coloring, 8, 4, &mut rng);
+        // Doubling t quadruples the edge count; utilized edges follow suit
+        // (allow generous slack for randomness).
+        let ratio = large.avg_utilized_edges / small.avg_utilized_edges.max(1.0);
+        assert!(ratio > 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cycle_experiment_touches_almost_every_cycle() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let stats = cycle_message_experiment(Problem::Mis, 12, 8, &mut rng);
+        assert_eq!(stats.n, 96);
+        // A correct algorithm has to spend Ω(n) messages on this family —
+        // every cycle needs symmetry breaking of its own.
+        assert!(stats.messages as usize >= stats.n);
+        assert_eq!(stats.mute_cycles, 0);
+        let stats = cycle_message_experiment(Problem::Coloring, 10, 6, &mut rng);
+        assert!(stats.messages as usize >= stats.n);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let stats = CrossedStats {
+            t: 2,
+            samples: 4,
+            pair_utilized: 3,
+            avg_utilized_edges: 8.0,
+            avg_messages: 10.0,
+            base_edges: 16,
+        };
+        assert!((stats.pair_utilized_fraction() - 0.75).abs() < 1e-9);
+        assert!((stats.utilized_fraction() - 0.5).abs() < 1e-9);
+    }
+}

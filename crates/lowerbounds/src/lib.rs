@@ -1,0 +1,35 @@
+//! Lower-bound constructions and experiments from Section 2 of the paper.
+//!
+//! * [`crossed`] — the base graph `G ∪ G′`, the crossed graphs `G_{e,e′}`
+//!   and the shifted ID assignments `ψ_{e,e′}` behind the Ω(n²) message
+//!   lower bound for comparison-based (Δ+1)-coloring and MIS in KT-1
+//!   CONGEST (Theorems 2.10–2.16, Figure 2).
+//! * [`cycles`] — the disjoint-cycle family behind the Ω(n) lower bound in
+//!   KT-ρ for any constant ρ (Theorem 2.17), together with "silent rule"
+//!   falsification helpers.
+//! * [`experiments`] — runnable, measured counterparts: utilized-edge counts
+//!   (Definition 2.3) of correct comparison-based algorithms on the crossed
+//!   family, and message counts on the cycle family.
+//!
+//! The execution-similarity machinery (decoded representations of traces,
+//! Definition 2.2) lives in [`symbreak_congest::trace`] and is shared with
+//! the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use symbreak_lowerbounds::crossed::{CrossedFamily, Crossing};
+//!
+//! let family = CrossedFamily::new(4);
+//! let base = family.base_graph();
+//! let crossed = family.crossed_graph(Crossing { x: 0, y: 1, z: 2 });
+//! assert_eq!(base.num_edges(), crossed.num_edges());
+//! assert_eq!(family.family_size(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crossed;
+pub mod cycles;
+pub mod experiments;

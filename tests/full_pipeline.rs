@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: the full pipelines of the paper's
+//! algorithms, run end to end through the facade crate.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symbreak::classic::{coloring, mis};
+use symbreak::congest::SyncConfig;
+use symbreak::core::{alg1_coloring, alg2_coloring, alg3_mis};
+use symbreak::core::{Alg1Config, Alg2Config, Alg3Config};
+use symbreak::graphs::{generators, Graph, IdAssignment, IdSpace};
+
+fn instance(n: usize, p: f64, seed: u64) -> (Graph, IdAssignment) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::connected_gnp(n, p, &mut rng);
+    let ids = IdAssignment::random(&g, IdSpace::CUBIC, &mut rng);
+    (g, ids)
+}
+
+#[test]
+fn algorithm1_beats_the_coloring_baseline_on_a_dense_instance() {
+    let (g, ids) = instance(140, 0.8, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let out = alg1_coloring::run(&g, &ids, Alg1Config::default(), &mut rng).unwrap();
+    assert!(coloring::verify::is_proper_coloring(&g, &out.colors));
+    assert!(coloring::verify::uses_colors_below(
+        &out.colors,
+        g.max_degree() as u64 + 1
+    ));
+
+    let (baseline_colors, baseline_report) =
+        coloring::baseline::run(&g, &ids, 3, SyncConfig::default());
+    assert!(coloring::verify::is_proper_coloring(&g, &baseline_colors));
+    assert!(
+        out.costs.total_messages() < baseline_report.messages,
+        "Algorithm 1 ({}) should use fewer messages than the baseline ({})",
+        out.costs.total_messages(),
+        baseline_report.messages
+    );
+}
+
+#[test]
+fn algorithm2_message_cost_grows_with_one_over_epsilon() {
+    let (g, ids) = instance(90, 0.6, 5);
+    let run_with = |eps: f64| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = alg2_coloring::run(
+            &g,
+            &ids,
+            Alg2Config {
+                epsilon: eps,
+                ..Alg2Config::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(coloring::verify::is_proper_coloring(&g, &out.colors));
+        assert!(coloring::verify::uses_colors_below(&out.colors, out.palette_size));
+        out.costs.total_messages()
+    };
+    let loose = run_with(1.0);
+    let tight = run_with(0.1);
+    // A smaller ε means a smaller palette and therefore more collisions,
+    // retries and messages (the Õ(n/ε²) dependence).
+    assert!(
+        tight > loose,
+        "ε = 0.1 should cost more messages ({tight}) than ε = 1.0 ({loose})"
+    );
+}
+
+#[test]
+fn algorithm3_matches_luby_correctness_but_with_fewer_messages() {
+    let (g, ids) = instance(160, 0.7, 9);
+    let mut rng = StdRng::seed_from_u64(10);
+    let out = alg3_mis::run(&g, &ids, Alg3Config::default(), &mut rng).unwrap();
+    assert!(mis::verify::is_mis(&g, &out.in_mis));
+
+    let (luby_mis, luby_report) = mis::luby::run(&g, &ids, 11, SyncConfig::default());
+    assert!(mis::verify::is_mis(&g, &luby_mis));
+    assert!(
+        out.costs.total_messages() < luby_report.messages,
+        "Algorithm 3 ({}) should use fewer messages than Luby ({})",
+        out.costs.total_messages(),
+        luby_report.messages
+    );
+    // The remnant graph handed to Luby inside Algorithm 3 is sparse.
+    let n = g.num_nodes() as f64;
+    assert!((out.remnant_max_degree as f64) < 4.0 * n.sqrt() * n.ln());
+}
+
+#[test]
+fn all_three_algorithms_are_robust_across_densities_and_seeds() {
+    for (n, p) in [(30usize, 0.1), (60, 0.4), (40, 0.95)] {
+        for seed in 0..3u64 {
+            let (g, ids) = instance(n, p, seed * 31 + 7);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let c1 = alg1_coloring::run(&g, &ids, Alg1Config::default(), &mut rng).unwrap();
+            assert!(
+                coloring::verify::is_proper_coloring(&g, &c1.colors),
+                "alg1 n={n} p={p} seed={seed}"
+            );
+            let c2 = alg2_coloring::run(&g, &ids, Alg2Config::default(), &mut rng).unwrap();
+            assert!(
+                coloring::verify::is_proper_coloring(&g, &c2.colors),
+                "alg2 n={n} p={p} seed={seed}"
+            );
+            let m3 = alg3_mis::run(&g, &ids, Alg3Config::default(), &mut rng).unwrap();
+            assert!(
+                mis::verify::is_mis(&g, &m3.in_mis),
+                "alg3 n={n} p={p} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn asynchronous_algorithm1_is_correct_and_costs_more() {
+    let (g, ids) = instance(60, 0.5, 21);
+    let mut rng = StdRng::seed_from_u64(22);
+    let sync = alg1_coloring::run(&g, &ids, Alg1Config::default(), &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(22);
+    let asynchronous = alg1_coloring::run_async(&g, &ids, Alg1Config::default(), &mut rng).unwrap();
+    assert!(coloring::verify::is_proper_coloring(&g, &asynchronous.colors));
+    assert!(asynchronous.costs.total_messages() >= sync.costs.simulated_messages());
+}
