@@ -17,12 +17,22 @@ fn print_table() {
     for (i, p) in [0.05f64, 0.15, 0.4, 0.8].into_iter().enumerate() {
         let inst = gnp_instance(192, p, 600 + i as u64);
         table.push(experiments::measure_alg1(&inst.graph, &inst.ids, i as u64));
-        table.push(experiments::measure_coloring_baseline(&inst.graph, &inst.ids, i as u64));
+        table.push(experiments::measure_coloring_baseline(
+            &inst.graph,
+            &inst.ids,
+            i as u64,
+        ));
         table.push(experiments::measure_alg3(&inst.graph, &inst.ids, i as u64));
-        table.push(experiments::measure_luby_baseline(&inst.graph, &inst.ids, i as u64));
+        table.push(experiments::measure_luby_baseline(
+            &inst.graph,
+            &inst.ids,
+            i as u64,
+        ));
     }
     println!("{table}");
-    println!("(rows are grouped in blocks of four per density: Alg1, coloring baseline, Alg3, Luby)\n");
+    println!(
+        "(rows are grouped in blocks of four per density: Alg1, coloring baseline, Alg3, Luby)\n"
+    );
 }
 
 fn bench(c: &mut Criterion) {

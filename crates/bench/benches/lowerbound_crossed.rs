@@ -14,7 +14,9 @@ use symbreak_bench::workloads::fit_exponent;
 use symbreak_lowerbounds::experiments::{crossed_utilization_experiment, Problem};
 
 fn print_table() {
-    println!("\n=== F1-KT1-LB: utilized edges of correct comparison-based algorithms on G ∪ G′ ===");
+    println!(
+        "\n=== F1-KT1-LB: utilized edges of correct comparison-based algorithms on G ∪ G′ ==="
+    );
     println!(
         "{:<14} {:>4} {:>6} {:>10} {:>12} {:>16} {:>14}",
         "problem", "t", "n", "edges", "utilized", "utilized frac", "pair hit"

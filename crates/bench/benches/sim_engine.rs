@@ -1,0 +1,255 @@
+//! SIM-ENGINE: throughput of the arena-based round engine vs. the naive
+//! nested-`Vec` reference loop.
+//!
+//! Two simulator-bound workloads (algorithm work is intentionally trivial so
+//! the measurement isolates the engine):
+//!
+//! * **flood** — a token spreads from node 0; every node broadcasts once.
+//!   Message traffic is `2m` spread over ~diameter rounds.
+//! * **announce** — every node broadcasts its ID in round 0. All `2m`
+//!   messages land in a single round, stressing peak arena throughput.
+//!
+//! Graph families: cycle (long thin rounds), clique (one hot round),
+//! near-regular random graphs up to n = 10⁵. Each pair is measured for both
+//! engines; the speedups are printed and appended to
+//! `BENCH_sim_engine.json` (one JSON object per line).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symbreak_congest::reference::NaiveSyncSimulator;
+use symbreak_congest::{
+    ExecutionReport, KtLevel, Message, NodeAlgorithm, NodeInit, RoundContext, SyncConfig,
+    SyncSimulator,
+};
+use symbreak_graphs::{generators, Graph, IdAssignment, NodeId};
+
+/// Token flood from node 0: broadcast once on first contact.
+///
+/// The automaton is purely *reactive* — it permanently reports done and
+/// relies on the `NodeAlgorithm::is_done` contract (a done node is invoked
+/// whenever messages arrive). This is the shape event-driven flooding takes
+/// on the arena engine: nodes the token has not reached yet cost nothing.
+struct Flood {
+    have: bool,
+}
+
+impl Flood {
+    fn new() -> Self {
+        Flood { have: false }
+    }
+}
+
+impl NodeAlgorithm for Flood {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        let newly =
+            (ctx.round() == 0 && ctx.node() == NodeId(0)) || (!self.have && !inbox.is_empty());
+        if newly {
+            self.have = true;
+            ctx.broadcast(&Message::tagged(1));
+        }
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+    fn output(&self) -> Option<u64> {
+        Some(u64::from(self.have))
+    }
+}
+
+/// Every node announces its own ID to all neighbours in round 0.
+struct Announce {
+    id: u64,
+    done: bool,
+}
+
+impl NodeAlgorithm for Announce {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, _inbox: &[Message]) {
+        if ctx.round() == 0 {
+            ctx.broadcast(&Message::tagged(0).with_id(self.id));
+        }
+        self.done = true;
+    }
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Workload {
+    Flood,
+    Announce,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Flood => "flood",
+            Workload::Announce => "announce",
+        }
+    }
+}
+
+struct Case {
+    graph_name: &'static str,
+    workload: Workload,
+    graph: Graph,
+    ids: IdAssignment,
+    /// Timing iterations for the naive engine. The event-driven arena
+    /// engine only touches the flood frontier, but the naive loop sweeps
+    /// all n nodes every one of the ~n/2 rounds of a 100k-cycle flood —
+    /// tens of seconds — so the huge high-diameter case gets one naive
+    /// iteration instead of five.
+    naive_iters: u32,
+}
+
+fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+    let families: Vec<(&'static str, Graph)> = vec![
+        ("cycle_4096", generators::cycle(4096)),
+        ("cycle_100000", generators::cycle(100_000)),
+        ("clique_512", generators::clique(512)),
+        (
+            "random_d8_100000",
+            generators::random_near_regular(100_000, 8, &mut StdRng::seed_from_u64(42)),
+        ),
+    ];
+    for (graph_name, graph) in families {
+        let n = graph.num_nodes();
+        for workload in [Workload::Flood, Workload::Announce] {
+            let slow_naive = matches!(workload, Workload::Flood) && graph_name == "cycle_100000";
+            out.push(Case {
+                graph_name,
+                workload,
+                graph: graph.clone(),
+                ids: IdAssignment::identity(n),
+                naive_iters: if slow_naive { 1 } else { 5 },
+            });
+        }
+    }
+    out
+}
+
+fn run_case(case: &Case, naive: bool) -> ExecutionReport {
+    let sim = SyncSimulator::new(&case.graph, &case.ids, KtLevel::KT1);
+    let config = SyncConfig::default();
+    match (case.workload, naive) {
+        (Workload::Flood, false) => sim.run(config, |_| Flood::new()),
+        (Workload::Flood, true) => NaiveSyncSimulator::new(sim).run(config, |_| Flood::new()),
+        (Workload::Announce, false) => sim.run(config, |init: NodeInit<'_>| Announce {
+            id: init.knowledge.own_id(),
+            done: false,
+        }),
+        (Workload::Announce, true) => {
+            NaiveSyncSimulator::new(sim).run(config, |init: NodeInit<'_>| Announce {
+                id: init.knowledge.own_id(),
+                done: false,
+            })
+        }
+    }
+}
+
+/// Best-of-`iters` wall-clock nanoseconds for one case.
+fn measure(case: &Case, naive: bool, iters: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let report = run_case(case, naive);
+        let ns = t.elapsed().as_nanos() as f64;
+        assert!(report.completed, "workload must terminate");
+        best = best.min(ns);
+    }
+    best
+}
+
+fn compare_engines() {
+    use std::io::Write;
+
+    // Benches run with the package directory as CWD; anchor the artifact at
+    // the workspace root where the other BENCH_*.json files live.
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_engine.json");
+    let mut json = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(json_path)
+        .ok();
+    println!("\n=== sim_engine: arena engine vs naive nested-Vec loop ===");
+    println!(
+        "{:<22} {:<9} {:>12} {:>14} {:>14} {:>9}",
+        "graph", "workload", "messages", "engine", "naive", "speedup"
+    );
+    for case in cases() {
+        let messages = run_case(&case, false).messages;
+        let engine_ns = measure(&case, false, 5);
+        let naive_ns = measure(&case, true, case.naive_iters);
+        let speedup = naive_ns / engine_ns;
+        println!(
+            "{:<22} {:<9} {:>12} {:>12.2}ms {:>12.2}ms {:>8.2}x",
+            case.graph_name,
+            case.workload.name(),
+            messages,
+            engine_ns / 1e6,
+            naive_ns / 1e6,
+            speedup
+        );
+        if let Some(f) = json.as_mut() {
+            let _ = writeln!(
+                f,
+                "{{\"bench\":\"sim_engine\",\"graph\":\"{}\",\"workload\":\"{}\",\"n\":{},\"m\":{},\"messages\":{},\"engine_ns\":{:.0},\"naive_ns\":{:.0},\"speedup\":{:.3}}}",
+                case.graph_name,
+                case.workload.name(),
+                case.graph.num_nodes(),
+                case.graph.num_edges(),
+                messages,
+                engine_ns,
+                naive_ns,
+                speedup
+            );
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    compare_engines();
+    // Criterion samples on a mid-size instance so regressions show up in
+    // per-iteration time without the comparison table's long tail.
+    let graph = generators::random_near_regular(10_000, 8, &mut StdRng::seed_from_u64(7));
+    let n = graph.num_nodes();
+    let ids = IdAssignment::identity(n);
+    let flood_case = Case {
+        graph_name: "random_d8_10000",
+        workload: Workload::Flood,
+        graph: graph.clone(),
+        ids: ids.clone(),
+        naive_iters: 5,
+    };
+    let announce_case = Case {
+        graph_name: "random_d8_10000",
+        workload: Workload::Announce,
+        graph,
+        ids,
+        naive_iters: 5,
+    };
+    c.bench_function("sim_engine_flood_random_d8_10000", |b| {
+        b.iter(|| run_case(&flood_case, false))
+    });
+    c.bench_function("sim_engine_announce_random_d8_10000", |b| {
+        b.iter(|| run_case(&announce_case, false))
+    });
+    c.bench_function("sim_naive_flood_random_d8_10000", |b| {
+        b.iter(|| run_case(&flood_case, true))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

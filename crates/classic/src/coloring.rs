@@ -8,7 +8,11 @@ pub mod verify {
 
     /// Whether every node is coloured and no edge is monochromatic.
     pub fn is_proper_coloring(graph: &Graph, colors: &[Option<u64>]) -> bool {
-        assert_eq!(colors.len(), graph.num_nodes(), "one colour per node required");
+        assert_eq!(
+            colors.len(),
+            graph.num_nodes(),
+            "one colour per node required"
+        );
         colors.iter().all(Option::is_some)
             && graph
                 .edges()
@@ -45,7 +49,11 @@ pub mod greedy {
     /// Greedy colours nodes in the given order with the smallest colour not
     /// used by an already-coloured neighbour; uses at most `Δ + 1` colours.
     pub fn greedy_coloring_in_order(graph: &Graph, order: &[NodeId]) -> Vec<Option<u64>> {
-        assert_eq!(order.len(), graph.num_nodes(), "order must list every node once");
+        assert_eq!(
+            order.len(),
+            graph.num_nodes(),
+            "order must list every node once"
+        );
         let mut colors: Vec<Option<u64>> = vec![None; graph.num_nodes()];
         for &v in order {
             let taken: std::collections::BTreeSet<u64> = graph
@@ -155,7 +163,7 @@ pub mod johansson {
         }
         fn send_all(&self, ctx: &mut RoundContext<'_>, msg: &Message) {
             for i in 0..self.active.len() {
-                ctx.send(self.active[i], msg.clone());
+                ctx.send(self.active[i], *msg);
             }
         }
     }
@@ -236,12 +244,13 @@ pub mod johansson {
                 palette: spec.palettes[i].clone(),
                 active: spec.active[i].clone(),
                 candidate: None,
-                rng: StdRng::seed_from_u64(
-                    seed ^ 0x517cc1b727220a95u64.wrapping_mul(i as u64 + 1),
-                ),
+                rng: StdRng::seed_from_u64(seed ^ 0x517cc1b727220a95u64.wrapping_mul(i as u64 + 1)),
             }
         });
-        assert!(report.completed, "Johansson list-coloring did not terminate");
+        assert!(
+            report.completed,
+            "Johansson list-coloring did not terminate"
+        );
         (report.outputs.clone(), report)
     }
 }
@@ -290,7 +299,10 @@ mod tests {
         assert!(verify::uses_colors_below(&good, 2));
         assert!(!verify::uses_colors_below(&good, 1));
         assert_eq!(verify::num_colors_used(&good), 2);
-        assert!(verify::respects_lists(&good, &[vec![0], vec![1, 2], vec![0]]));
+        assert!(verify::respects_lists(
+            &good,
+            &[vec![0], vec![1, 2], vec![0]]
+        ));
         assert!(!verify::respects_lists(&good, &[vec![1], vec![1], vec![0]]));
     }
 
@@ -301,7 +313,10 @@ mod tests {
             let g = generators::gnp(40, 0.2, &mut rng);
             let colors = greedy::greedy_coloring(&g);
             assert!(verify::is_proper_coloring(&g, &colors));
-            assert!(verify::uses_colors_below(&colors, g.max_degree() as u64 + 1));
+            assert!(verify::uses_colors_below(
+                &colors,
+                g.max_degree() as u64 + 1
+            ));
         }
     }
 
@@ -315,7 +330,10 @@ mod tests {
             let (colors, report) =
                 johansson::run(&g, &ids, KtLevel::KT1, &spec, 5, SyncConfig::default());
             assert!(verify::is_proper_coloring(&g, &colors), "n={n}");
-            assert!(verify::uses_colors_below(&colors, g.max_degree() as u64 + 1));
+            assert!(verify::uses_colors_below(
+                &colors,
+                g.max_degree() as u64 + 1
+            ));
             assert!(report.completed);
         }
     }

@@ -8,7 +8,11 @@ pub mod verify {
 
     /// Whether `in_set` (indexed by node) is an independent set of `graph`.
     pub fn is_independent_set(graph: &Graph, in_set: &[bool]) -> bool {
-        assert_eq!(in_set.len(), graph.num_nodes(), "one flag per node required");
+        assert_eq!(
+            in_set.len(),
+            graph.num_nodes(),
+            "one flag per node required"
+        );
         graph
             .edges()
             .all(|(_, u, v)| !(in_set[u.index()] && in_set[v.index()]))
@@ -17,10 +21,14 @@ pub mod verify {
     /// Whether `in_set` is maximal: every node outside the set has a
     /// neighbour inside it.
     pub fn is_maximal(graph: &Graph, in_set: &[bool]) -> bool {
-        assert_eq!(in_set.len(), graph.num_nodes(), "one flag per node required");
-        graph.nodes().all(|v| {
-            in_set[v.index()] || graph.neighbors(v).any(|u| in_set[u.index()])
-        })
+        assert_eq!(
+            in_set.len(),
+            graph.num_nodes(),
+            "one flag per node required"
+        );
+        graph
+            .nodes()
+            .all(|v| in_set[v.index()] || graph.neighbors(v).any(|u| in_set[u.index()]))
     }
 
     /// Whether `in_set` is a maximal independent set.
@@ -129,15 +137,13 @@ pub mod parallel_greedy {
             if ctx.round() % 2 == 0 {
                 // Process JOIN announcements from the previous phase, then
                 // (if still undecided) announce our rank.
-                if self.state == State::Undecided
-                    && inbox.iter().any(|m| m.tag() == TAG_JOIN)
-                {
+                if self.state == State::Undecided && inbox.iter().any(|m| m.tag() == TAG_JOIN) {
                     self.state = State::Out;
                 }
                 if self.state == State::Undecided {
                     let msg = Message::tagged(TAG_RANK).with_value(self.rank);
                     for i in 0..self.active.len() {
-                        ctx.send(self.active[i], msg.clone());
+                        ctx.send(self.active[i], msg);
                     }
                 }
             } else if self.state == State::Undecided {
@@ -154,7 +160,7 @@ pub mod parallel_greedy {
                     self.state = State::In;
                     let msg = Message::tagged(TAG_JOIN);
                     for i in 0..self.active.len() {
-                        ctx.send(self.active[i], msg.clone());
+                        ctx.send(self.active[i], msg);
                     }
                 }
             }
@@ -272,16 +278,14 @@ pub mod luby {
                 return;
             }
             if ctx.round() % 2 == 0 {
-                if self.state == State::Undecided
-                    && inbox.iter().any(|m| m.tag() == TAG_JOIN)
-                {
+                if self.state == State::Undecided && inbox.iter().any(|m| m.tag() == TAG_JOIN) {
                     self.state = State::Out;
                 }
                 if self.state == State::Undecided {
                     self.current = self.rng.gen();
                     let msg = Message::tagged(TAG_VALUE).with_value(self.current);
                     for i in 0..self.active.len() {
-                        ctx.send(self.active[i], msg.clone());
+                        ctx.send(self.active[i], msg);
                     }
                 }
             } else if self.state == State::Undecided {
@@ -298,7 +302,7 @@ pub mod luby {
                     self.state = State::In;
                     let msg = Message::tagged(TAG_JOIN);
                     for i in 0..self.active.len() {
-                        ctx.send(self.active[i], msg.clone());
+                        ctx.send(self.active[i], msg);
                     }
                 }
             }
@@ -339,7 +343,9 @@ pub mod luby {
                 } else {
                     State::NotParticipating
                 },
-                rng: StdRng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1))),
+                rng: StdRng::seed_from_u64(
+                    seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)),
+                ),
                 current: 0,
                 active: active[i].clone(),
             }
@@ -431,7 +437,9 @@ mod tests {
         for trial in 0..5 {
             let g = generators::connected_gnp(30, 0.2, &mut rng);
             let ids = IdAssignment::identity(30);
-            let ranks: Vec<u64> = (0..30).map(|i| (i as u64 * 7919 + trial) % 1000 + 1).collect();
+            let ranks: Vec<u64> = (0..30)
+                .map(|i| (i as u64 * 7919 + trial) % 1000 + 1)
+                .collect();
             let sequential = greedy::greedy_mis_by_rank(&g, &ranks);
             let (parallel, report) =
                 parallel_greedy::run_on_whole_graph(&g, &ids, &ranks, SyncConfig::default());
@@ -504,6 +512,9 @@ mod tests {
     #[test]
     fn outputs_to_membership_maps_correctly() {
         let outputs = vec![Some(1), Some(0), Some(1)];
-        assert_eq!(verify::outputs_to_membership(&outputs), vec![true, false, true]);
+        assert_eq!(
+            verify::outputs_to_membership(&outputs),
+            vec![true, false, true]
+        );
     }
 }

@@ -16,8 +16,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use symbreak_graphs::{Graph, IdAssignment, NodeId};
 
+use crate::engine::NodeRuntime;
 use crate::model::DEFAULT_MESSAGE_BITS;
-use crate::{KnowledgeView, KtLevel, Message, NodeAlgorithm, NodeInit, RoundContext};
+use crate::{KtLevel, Message, NodeAlgorithm, NodeInit};
 
 /// Extra messages incurred by running a `rounds`-round synchronous algorithm
 /// through an α-synchronizer on a subgraph with `active_edges` edges
@@ -85,6 +86,8 @@ pub struct AsyncReport {
     pub time: u64,
     /// Total messages sent.
     pub messages: u64,
+    /// The largest message observed, in bits.
+    pub max_message_bits: u32,
     /// Final per-node outputs.
     pub outputs: Vec<Option<u64>>,
 }
@@ -115,32 +118,26 @@ impl<'g> AsyncSimulator<'g> {
     }
 
     /// Runs the node algorithms under random message delays drawn from `rng`.
-    pub fn run<A, F, R>(&self, config: AsyncConfig, rng: &mut R, mut make: F) -> AsyncReport
+    ///
+    /// Node activation (context construction, automaton stepping, CONGEST
+    /// validation) goes through the same [`NodeRuntime`] engine as the
+    /// synchronous simulator; only the delay-wheel delivery policy lives
+    /// here.
+    pub fn run<A, F, R>(&self, config: AsyncConfig, rng: &mut R, make: F) -> AsyncReport
     where
         A: NodeAlgorithm,
         F: FnMut(NodeInit<'_>) -> A,
         R: Rng + ?Sized,
     {
         let n = self.graph.num_nodes();
-        let neighbor_lists: Vec<Vec<NodeId>> = (0..n)
-            .map(|i| self.graph.neighbor_vec(NodeId(i as u32)))
-            .collect();
-        let mut nodes: Vec<A> = (0..n)
-            .map(|i| {
-                let v = NodeId(i as u32);
-                make(NodeInit {
-                    node: v,
-                    num_nodes: n,
-                    knowledge: KnowledgeView::new(self.graph, self.ids, self.level, v),
-                })
-            })
-            .collect();
+        let mut runtime = NodeRuntime::new(self.graph, self.ids, self.level, make);
 
         // pending[t % window][v] = messages arriving at node v at time t.
         let window = (config.max_delay + 1) as usize;
         let mut pending: Vec<Vec<Vec<Message>>> = vec![vec![Vec::new(); n]; window];
         let mut in_flight: u64 = 0;
         let mut messages: u64 = 0;
+        let mut max_bits: u32 = 0;
         let mut time: u64 = 0;
         let mut completed = false;
         // Activation counter per node: how many times each node has been
@@ -148,7 +145,7 @@ impl<'g> AsyncSimulator<'g> {
         let mut activations: Vec<u64> = vec![0; n];
 
         loop {
-            if time > 0 && in_flight == 0 && nodes.iter().all(NodeAlgorithm::is_done) {
+            if time > 0 && in_flight == 0 && runtime.all_done() {
                 completed = true;
                 break;
             }
@@ -157,7 +154,7 @@ impl<'g> AsyncSimulator<'g> {
             }
 
             let slot = (time % window as u64) as usize;
-            let mut outgoing: Vec<(NodeId, NodeId, Message)> = Vec::new();
+            let mut outgoing: Vec<(NodeId, Message)> = Vec::new();
             for i in 0..n {
                 let inbox = std::mem::take(&mut pending[slot][i]);
                 let activate = time == 0 || !inbox.is_empty();
@@ -165,21 +162,17 @@ impl<'g> AsyncSimulator<'g> {
                     continue;
                 }
                 in_flight -= inbox.len() as u64;
-                let v = NodeId(i as u32);
-                let knowledge = KnowledgeView::new(self.graph, self.ids, self.level, v);
-                let mut ctx =
-                    RoundContext::new(v, activations[i], knowledge, &neighbor_lists[i]);
-                nodes[i].on_round(&mut ctx, &inbox);
+                runtime.step(
+                    i,
+                    activations[i],
+                    &inbox,
+                    config.message_bit_limit,
+                    &mut max_bits,
+                    &mut |_from, to, msg| outgoing.push((to, msg)),
+                );
                 activations[i] += 1;
-                for (to, msg) in ctx.take_outbox() {
-                    assert!(
-                        msg.size_bits() <= config.message_bit_limit,
-                        "node {v} sent a message exceeding the CONGEST budget"
-                    );
-                    outgoing.push((v, to, msg));
-                }
             }
-            for (_from, to, msg) in outgoing {
+            for (to, msg) in outgoing {
                 let delay = rng.gen_range(1..=config.max_delay);
                 let arrival = ((time + delay) % window as u64) as usize;
                 pending[arrival][to.index()].push(msg);
@@ -193,7 +186,8 @@ impl<'g> AsyncSimulator<'g> {
             completed,
             time,
             messages,
-            outputs: nodes.iter().map(NodeAlgorithm::output).collect(),
+            max_message_bits: max_bits,
+            outputs: runtime.outputs(),
         }
     }
 }
@@ -201,6 +195,7 @@ impl<'g> AsyncSimulator<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RoundContext;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use symbreak_graphs::generators;
@@ -251,6 +246,8 @@ mod tests {
         assert!(report.outputs.iter().all(|o| *o == Some(1)));
         assert!(report.messages >= 2 * (g.num_nodes() as u64 - 1));
         assert!(report.time > 0);
+        // Flood messages are bare tags: 16 bits.
+        assert_eq!(report.max_message_bits, 16);
     }
 
     #[test]

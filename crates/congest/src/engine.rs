@@ -1,0 +1,349 @@
+//! The reusable round engine shared by the synchronous and asynchronous
+//! simulators.
+//!
+//! Three pieces, all allocation-frugal:
+//!
+//! * [`NodeRuntime`] — owns the node automata plus a flat (CSR-style)
+//!   neighbour array, and runs single-node activations: build the
+//!   [`RoundContext`], call [`NodeAlgorithm::on_round`], validate the
+//!   outbox against the CONGEST bit budget and hand every message to a
+//!   caller-supplied sink. Both simulators drive their delivery policies
+//!   through this one code path.
+//! * [`MessageArena`] + [`DeliveryBuffer`] — the synchronous double buffer.
+//!   Messages produced during a round are staged in sender order in the
+//!   [`DeliveryBuffer`]; [`DeliveryBuffer::flip`] counting-sorts them by
+//!   receiver into the [`MessageArena`], whose per-node offset ranges into
+//!   one flat `Vec<Message>` serve as next round's inboxes. Both buffers are
+//!   reused across rounds, so a steady-state round performs no allocations
+//!   beyond message payloads.
+//! * [`RoundObserver`] — compile-time-gated instrumentation. The
+//!   uninstrumented fast path runs with [`NoopObserver`], whose
+//!   `ACTIVE = false` constant statically removes every observation branch
+//!   (including the per-message edge lookup) from the inner loop.
+
+use symbreak_graphs::{EdgeId, Graph, IdAssignment, NodeId};
+
+use crate::{KnowledgeView, KtLevel, Message, NodeAlgorithm, NodeInit, RoundContext};
+
+/// Observer of a simulated execution, called from the engine's inner loop.
+///
+/// Implementations receive every delivered message (with the edge it
+/// travelled on) and a callback at the end of every round. The simulator's
+/// built-in instrumentation (traces, per-edge counters, utilized edges) is
+/// one implementation; callers can pass their own to
+/// [`crate::SyncSimulator::run_observed`].
+pub trait RoundObserver {
+    /// Whether this observer wants callbacks at all. When `false`, the
+    /// engine statically skips the per-message edge resolution *and* the
+    /// observer calls, leaving the fast path free of instrumentation
+    /// branches.
+    const ACTIVE: bool = true;
+
+    /// Called once per message, after CONGEST validation, before delivery.
+    /// `edge` is the graph edge the message travels on.
+    fn on_message(&mut self, from: NodeId, to: NodeId, edge: EdgeId, message: &Message);
+
+    /// Called once at the end of every executed round.
+    fn on_round_end(&mut self, round: u64);
+}
+
+/// The do-nothing observer of the uninstrumented fast path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl RoundObserver for NoopObserver {
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn on_message(&mut self, _from: NodeId, _to: NodeId, _edge: EdgeId, _message: &Message) {}
+
+    #[inline(always)]
+    fn on_round_end(&mut self, _round: u64) {}
+}
+
+/// Owns the per-node automata and the flat neighbour table, and executes
+/// single-node activations for both simulators.
+pub(crate) struct NodeRuntime<'g, A> {
+    graph: &'g Graph,
+    ids: &'g IdAssignment,
+    level: KtLevel,
+    nodes: Vec<A>,
+    /// CSR offsets into `nbrs`: node `i`'s neighbours are
+    /// `nbrs[nbr_offsets[i] as usize .. nbr_offsets[i + 1] as usize]`.
+    nbr_offsets: Vec<u32>,
+    /// All neighbour lists, flattened into one allocation (the old code
+    /// cloned the adjacency structure into a `Vec<Vec<NodeId>>` per run).
+    nbrs: Vec<NodeId>,
+    /// Pooled outbox storage, swapped into each [`RoundContext`] so sender
+    /// activations allocate nothing in steady state.
+    outbox_pool: Vec<(NodeId, Message)>,
+}
+
+impl<'g, A: NodeAlgorithm> NodeRuntime<'g, A> {
+    /// Creates the automata via `make` and snapshots the neighbour table.
+    pub(crate) fn new<F>(
+        graph: &'g Graph,
+        ids: &'g IdAssignment,
+        level: KtLevel,
+        mut make: F,
+    ) -> Self
+    where
+        F: FnMut(NodeInit<'_>) -> A,
+    {
+        let n = graph.num_nodes();
+        let mut nbr_offsets = Vec::with_capacity(n + 1);
+        let mut nbrs = Vec::with_capacity(graph.degree_sum());
+        nbr_offsets.push(0u32);
+        for v in graph.nodes() {
+            nbrs.extend(graph.neighbors(v));
+            nbr_offsets.push(nbrs.len() as u32);
+        }
+        let nodes = (0..n)
+            .map(|i| {
+                let v = NodeId(i as u32);
+                make(NodeInit {
+                    node: v,
+                    num_nodes: n,
+                    knowledge: KnowledgeView::new(graph, ids, level, v),
+                })
+            })
+            .collect();
+        NodeRuntime {
+            graph,
+            ids,
+            level,
+            nodes,
+            nbr_offsets,
+            nbrs,
+            outbox_pool: Vec::new(),
+        }
+    }
+
+    /// Current done flag of every automaton (used to seed the skip list).
+    pub(crate) fn done_flags(&self) -> Vec<bool> {
+        self.nodes.iter().map(NodeAlgorithm::is_done).collect()
+    }
+
+    /// Whether every automaton reports done.
+    pub(crate) fn all_done(&self) -> bool {
+        self.nodes.iter().all(NodeAlgorithm::is_done)
+    }
+
+    /// Final outputs of every automaton.
+    pub(crate) fn outputs(&self) -> Vec<Option<u64>> {
+        self.nodes.iter().map(NodeAlgorithm::output).collect()
+    }
+
+    /// Activates node `i` for one round: runs its automaton on `inbox` and
+    /// feeds every outgoing message — after validating the CONGEST bit
+    /// budget and updating `max_bits` — to `sink`. Returns the automaton's
+    /// done flag after the activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node sends a message exceeding `bit_limit`; sends to
+    /// non-neighbours already panic inside [`RoundContext::send`].
+    pub(crate) fn step<S>(
+        &mut self,
+        i: usize,
+        round: u64,
+        inbox: &[Message],
+        bit_limit: u32,
+        max_bits: &mut u32,
+        sink: &mut S,
+    ) -> bool
+    where
+        S: FnMut(NodeId, NodeId, Message),
+    {
+        let v = NodeId(i as u32);
+        let lo = self.nbr_offsets[i] as usize;
+        let hi = self.nbr_offsets[i + 1] as usize;
+        let knowledge = KnowledgeView::new(self.graph, self.ids, self.level, v);
+        let mut ctx = RoundContext::with_buffer(
+            v,
+            round,
+            knowledge,
+            &self.nbrs[lo..hi],
+            std::mem::take(&mut self.outbox_pool),
+        );
+        self.nodes[i].on_round(&mut ctx, inbox);
+        let mut outbox = ctx.take_outbox();
+        for (to, msg) in outbox.drain(..) {
+            let bits = msg.size_bits();
+            assert!(
+                bits <= bit_limit,
+                "node {v} sent a {bits}-bit message, exceeding the CONGEST budget of {bit_limit} bits"
+            );
+            *max_bits = (*max_bits).max(bits);
+            sink(v, to, msg);
+        }
+        self.outbox_pool = outbox;
+        self.nodes[i].is_done()
+    }
+}
+
+/// Flat per-round inbox storage: one `Vec<Message>` partitioned into
+/// per-node ranges.
+///
+/// Ranges are *epoch-stamped*: [`DeliveryBuffer::flip`] bumps the epoch and
+/// rewrites only the entries of this round's receivers, so stale ranges from
+/// earlier rounds are ignored without any per-round `O(n)` clearing.
+pub(crate) struct MessageArena {
+    /// `ranges[i]` is node `i`'s inbox range in `msgs` — valid only when
+    /// `stamps[i] == epoch`.
+    ranges: Vec<(u32, u32)>,
+    stamps: Vec<u64>,
+    epoch: u64,
+    /// High-water message storage: only `msgs[..live]` is meaningful. The
+    /// buffer never shrinks; `Message` is `Copy`, so stale slots past `live`
+    /// need neither dropping nor clearing and each flip simply overwrites.
+    msgs: Vec<Message>,
+    live: usize,
+}
+
+impl MessageArena {
+    pub(crate) fn new(n: usize) -> Self {
+        MessageArena {
+            ranges: vec![(0, 0); n],
+            stamps: vec![0; n],
+            epoch: 0,
+            msgs: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Node `i`'s inbox for the current round.
+    #[inline]
+    pub(crate) fn inbox(&self, i: usize) -> &[Message] {
+        if self.stamps[i] == self.epoch {
+            let (lo, hi) = self.ranges[i];
+            &self.msgs[lo as usize..hi as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// Total number of messages currently held (the in-flight count).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// The staging half of the synchronous double buffer: messages accumulate
+/// here in sender order during a round, then [`DeliveryBuffer::flip`]
+/// counting-sorts them into a [`MessageArena`] keyed by receiver.
+pub(crate) struct DeliveryBuffer {
+    staged: Vec<(u32, Message)>,
+    /// Per-receiver message counts; nonzero only at indices listed in
+    /// `receivers`. Reused as placement cursors during `flip`, then zeroed.
+    counts: Vec<u32>,
+    /// Nodes with staged messages this round (unsorted until `flip`).
+    receivers: Vec<u32>,
+}
+
+impl DeliveryBuffer {
+    pub(crate) fn new(n: usize) -> Self {
+        DeliveryBuffer {
+            staged: Vec::new(),
+            counts: vec![0; n],
+            receivers: Vec::new(),
+        }
+    }
+
+    /// Queues one message for delivery to `to` next round.
+    #[inline]
+    pub(crate) fn stage(&mut self, to: NodeId, msg: Message) {
+        if self.counts[to.index()] == 0 {
+            self.receivers.push(to.0);
+        }
+        self.counts[to.index()] += 1;
+        self.staged.push((to.0, msg));
+    }
+
+    /// Moves the staged messages into `arena`, grouped by receiver (in
+    /// ascending receiver order, preserving send order within each
+    /// receiver), and resets this buffer. `receivers_out` is overwritten
+    /// with the sorted receiver list — the round loop unions it with the
+    /// non-done nodes to form the next round's active set.
+    ///
+    /// The arena's previous contents (last round's inboxes) are dropped
+    /// here. Runs in `O(staged + receivers·log(receivers))` — independent of
+    /// the node count — with no allocations once the buffers have warmed up.
+    pub(crate) fn flip(&mut self, arena: &mut MessageArena, receivers_out: &mut Vec<u32>) {
+        self.receivers.sort_unstable();
+        arena.epoch += 1;
+        arena.live = self.staged.len();
+        if arena.msgs.len() < arena.live {
+            // Grow to the high-water mark; the placeholder fill happens at
+            // most a few times per run and the scatter below overwrites
+            // every live slot.
+            arena.msgs.resize(arena.live, Message::tagged(u16::MAX));
+        }
+        let mut acc = 0u32;
+        for &r in &self.receivers {
+            let c = self.counts[r as usize];
+            arena.ranges[r as usize] = (acc, acc + c);
+            arena.stamps[r as usize] = arena.epoch;
+            // Repurpose the count slot as this receiver's placement cursor.
+            self.counts[r as usize] = acc;
+            acc += c;
+        }
+        for &(to, msg) in &self.staged {
+            let slot = self.counts[to as usize];
+            arena.msgs[slot as usize] = msg;
+            self.counts[to as usize] += 1;
+        }
+        self.staged.clear();
+        for &r in &self.receivers {
+            self.counts[r as usize] = 0;
+        }
+        receivers_out.clear();
+        receivers_out.append(&mut self.receivers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_buffer_groups_by_receiver_preserving_send_order() {
+        let mut arena = MessageArena::new(3);
+        let mut buf = DeliveryBuffer::new(3);
+        let mut receivers = Vec::new();
+        buf.stage(NodeId(2), Message::tagged(0));
+        buf.stage(NodeId(0), Message::tagged(1));
+        buf.stage(NodeId(2), Message::tagged(2));
+        buf.flip(&mut arena, &mut receivers);
+        assert_eq!(receivers, vec![0, 2]);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.inbox(0).len(), 1);
+        assert_eq!(arena.inbox(0)[0].tag(), 1);
+        assert!(arena.inbox(1).is_empty());
+        let tags: Vec<u16> = arena.inbox(2).iter().map(Message::tag).collect();
+        assert_eq!(tags, vec![0, 2]);
+    }
+
+    #[test]
+    fn flip_resets_for_reuse() {
+        let mut arena = MessageArena::new(2);
+        let mut buf = DeliveryBuffer::new(2);
+        let mut receivers = Vec::new();
+        buf.stage(NodeId(1), Message::tagged(7));
+        buf.flip(&mut arena, &mut receivers);
+        assert_eq!(arena.inbox(1).len(), 1);
+        // Next round: nothing staged, arena empties out and stale ranges
+        // from the previous epoch are ignored.
+        buf.flip(&mut arena, &mut receivers);
+        assert!(receivers.is_empty());
+        assert_eq!(arena.len(), 0);
+        assert!(arena.inbox(0).is_empty());
+        assert!(arena.inbox(1).is_empty());
+        // And staging works again afterwards.
+        buf.stage(NodeId(0), Message::tagged(9));
+        buf.flip(&mut arena, &mut receivers);
+        assert_eq!(receivers, vec![0]);
+        assert_eq!(arena.inbox(0)[0].tag(), 9);
+    }
+}

@@ -34,7 +34,10 @@ impl fmt::Display for SimError {
             SimError::RoundLimitExceeded { limit } => {
                 write!(f, "simulation exceeded the round limit of {limit}")
             }
-            SimError::IdAssignmentMismatch { graph_nodes, id_nodes } => write!(
+            SimError::IdAssignmentMismatch {
+                graph_nodes,
+                id_nodes,
+            } => write!(
                 f,
                 "ID assignment covers {id_nodes} nodes but the graph has {graph_nodes}"
             ),
@@ -52,7 +55,10 @@ mod tests {
     fn display_messages() {
         let e = SimError::RoundLimitExceeded { limit: 10 };
         assert!(e.to_string().contains("round limit"));
-        let e = SimError::IdAssignmentMismatch { graph_nodes: 5, id_nodes: 3 };
+        let e = SimError::IdAssignmentMismatch {
+            graph_nodes: 5,
+            id_nodes: 3,
+        };
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains('3'));
     }

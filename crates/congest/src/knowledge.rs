@@ -23,7 +23,12 @@ pub struct KnowledgeView<'a> {
 impl<'a> KnowledgeView<'a> {
     /// Creates the knowledge view of node `me`.
     pub fn new(graph: &'a Graph, ids: &'a IdAssignment, level: KtLevel, me: NodeId) -> Self {
-        KnowledgeView { graph, ids, level, me }
+        KnowledgeView {
+            graph,
+            ids,
+            level,
+            me,
+        }
     }
 
     /// The node whose knowledge this is.

@@ -56,15 +56,18 @@
 #![warn(missing_docs)]
 
 pub mod async_sim;
+mod engine;
 mod error;
 mod knowledge;
 mod message;
 mod metrics;
 mod model;
 mod node;
+pub mod reference;
 mod sync;
 pub mod trace;
 
+pub use engine::{NoopObserver, RoundObserver};
 pub use error::SimError;
 pub use knowledge::KnowledgeView;
 pub use message::{Message, MAX_ID_FIELDS, MAX_VALUE_FIELDS};

@@ -32,11 +32,19 @@ pub const MAX_VALUE_FIELDS: usize = 3;
 /// assert_eq!(m.ids(), &[12345]);
 /// assert_eq!(m.values(), &[3]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Because the field counts are hard-capped ([`MAX_ID_FIELDS`],
+/// [`MAX_VALUE_FIELDS`]), the payload is stored in fixed inline arrays: a
+/// `Message` is a flat 48-byte `Copy`-able value with no heap allocation,
+/// so the simulator's hot loop clones, moves and drops messages as plain
+/// memory copies. Unused slots are always zero, which keeps the derived
+/// `Eq`/`Hash` consistent with the visible fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Message {
     tag: u16,
-    ids: Vec<u64>,
-    values: Vec<u64>,
+    num_ids: u8,
+    num_values: u8,
+    ids: [u64; MAX_ID_FIELDS],
+    values: [u64; MAX_VALUE_FIELDS],
 }
 
 impl Message {
@@ -44,8 +52,10 @@ impl Message {
     pub fn tagged(tag: u16) -> Self {
         Message {
             tag,
-            ids: Vec::new(),
-            values: Vec::new(),
+            num_ids: 0,
+            num_values: 0,
+            ids: [0; MAX_ID_FIELDS],
+            values: [0; MAX_VALUE_FIELDS],
         }
     }
 
@@ -57,10 +67,11 @@ impl Message {
     /// would exceed the `O(log n)`-bit budget of the CONGEST model.
     pub fn with_id(mut self, id: u64) -> Self {
         assert!(
-            self.ids.len() < MAX_ID_FIELDS,
+            (self.num_ids as usize) < MAX_ID_FIELDS,
             "a CONGEST message may carry at most {MAX_ID_FIELDS} ID fields"
         );
-        self.ids.push(id);
+        self.ids[self.num_ids as usize] = id;
+        self.num_ids += 1;
         self
     }
 
@@ -71,10 +82,11 @@ impl Message {
     /// Panics if the message already carries [`MAX_VALUE_FIELDS`] values.
     pub fn with_value(mut self, value: u64) -> Self {
         assert!(
-            self.values.len() < MAX_VALUE_FIELDS,
+            (self.num_values as usize) < MAX_VALUE_FIELDS,
             "a CONGEST message may carry at most {MAX_VALUE_FIELDS} value fields"
         );
-        self.values.push(value);
+        self.values[self.num_values as usize] = value;
+        self.num_values += 1;
         self
     }
 
@@ -87,30 +99,30 @@ impl Message {
     /// The ID-type fields.
     #[inline]
     pub fn ids(&self) -> &[u64] {
-        &self.ids
+        &self.ids[..self.num_ids as usize]
     }
 
     /// The ordinary value fields.
     #[inline]
     pub fn values(&self) -> &[u64] {
-        &self.values
+        &self.values[..self.num_values as usize]
     }
 
     /// First ID field, if present.
     pub fn id(&self) -> Option<u64> {
-        self.ids.first().copied()
+        self.ids().first().copied()
     }
 
     /// First value field, if present.
     pub fn value(&self) -> Option<u64> {
-        self.values.first().copied()
+        self.values().first().copied()
     }
 
     /// Size of the message in bits, assuming IDs and values are `O(log n)`
     /// quantities encoded in 64-bit words plus the 16-bit tag. Used by the
     /// simulator to enforce the per-message budget.
     pub fn size_bits(&self) -> u32 {
-        16 + 64 * (self.ids.len() as u32 + self.values.len() as u32)
+        16 + 64 * (u32::from(self.num_ids) + u32::from(self.num_values))
     }
 }
 
@@ -120,7 +132,11 @@ mod tests {
 
     #[test]
     fn builder_accumulates_fields() {
-        let m = Message::tagged(3).with_id(10).with_id(20).with_value(1).with_value(2);
+        let m = Message::tagged(3)
+            .with_id(10)
+            .with_id(20)
+            .with_value(1)
+            .with_value(2);
         assert_eq!(m.tag(), 3);
         assert_eq!(m.ids(), &[10, 20]);
         assert_eq!(m.values(), &[1, 2]);

@@ -140,7 +140,11 @@ impl fmt::Display for CostAccount {
             writeln!(
                 f,
                 "{:<40} {:>12} {:>12} {:>8} {:>8}",
-                label, c.simulated_messages, c.charged_messages, c.simulated_rounds, c.charged_rounds
+                label,
+                c.simulated_messages,
+                c.charged_messages,
+                c.simulated_rounds,
+                c.charged_rounds
             )?;
         }
         writeln!(

@@ -39,7 +39,7 @@ impl KtLevel {
     /// `dist`.
     #[inline]
     pub fn knows_adjacency_at(self, dist: u32) -> bool {
-        self.0 > 0 && dist <= self.0 - 1
+        self.0 > 0 && dist < self.0
     }
 }
 

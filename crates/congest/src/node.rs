@@ -41,12 +41,26 @@ impl<'a> RoundContext<'a> {
         knowledge: KnowledgeView<'a>,
         neighbors: &'a [NodeId],
     ) -> Self {
+        Self::with_buffer(node, round, knowledge, neighbors, Vec::new())
+    }
+
+    /// Like [`RoundContext::new`], but reusing an existing (empty) outbox
+    /// allocation. The engine pools one buffer across activations so the
+    /// inner loop allocates nothing for senders.
+    pub(crate) fn with_buffer(
+        node: NodeId,
+        round: u64,
+        knowledge: KnowledgeView<'a>,
+        neighbors: &'a [NodeId],
+        outbox: Vec<(NodeId, Message)>,
+    ) -> Self {
+        debug_assert!(outbox.is_empty());
         RoundContext {
             node,
             round,
             knowledge,
             neighbors,
-            outbox: Vec::new(),
+            outbox,
         }
     }
 
@@ -106,7 +120,7 @@ impl<'a> RoundContext<'a> {
     pub fn broadcast(&mut self, message: &Message) {
         for i in 0..self.neighbors.len() {
             let to = self.neighbors[i];
-            self.outbox.push((to, message.clone()));
+            self.outbox.push((to, *message));
         }
     }
 
@@ -128,6 +142,13 @@ pub trait NodeAlgorithm {
 
     /// Whether this node has terminated. A done node is still invoked if new
     /// messages arrive for it.
+    ///
+    /// The engine relies on this contract for its fast path: on rounds after
+    /// round 0 it may *skip* invoking a node that reports done and has no
+    /// incoming messages. Round 0 (the initialisation call) is always
+    /// delivered to every node. Algorithms that want to act spontaneously on
+    /// later rounds must therefore report `false` until they truly have
+    /// nothing left to do.
     fn is_done(&self) -> bool;
 
     /// The node's output (colour, MIS membership, …) once the run completes.

@@ -1,0 +1,146 @@
+//! A naive synchronous simulator kept as a correctness oracle and
+//! throughput baseline.
+//!
+//! [`NaiveSyncSimulator`] reproduces the pre-engine implementation of
+//! [`crate::SyncSimulator::run`] faithfully: per-node `Vec<Vec<Message>>`
+//! inboxes reallocated every round, a cloned `Vec<Vec<NodeId>>` adjacency
+//! snapshot, a per-message `edge_between` lookup and `Option`-checked
+//! instrumentation inside the inner loop.
+//!
+//! It must produce **bit-identical** [`ExecutionReport`]s to the arena-based
+//! engine (the differential tests in `tests/engine_equivalence.rs` assert
+//! this), and it is what the `sim_engine` bench measures the engine against.
+
+use symbreak_graphs::NodeId;
+
+use crate::sync::mark_utilized;
+use crate::trace::{Trace, TraceMessage};
+use crate::{
+    ExecutionReport, KnowledgeView, Message, NodeAlgorithm, NodeInit, RoundContext, SyncConfig,
+    SyncSimulator,
+};
+
+/// The naive round loop, wrapped around the same simulator handle.
+///
+/// Construct a [`SyncSimulator`] as usual and pass it here; `run` accepts
+/// the same configuration and node factory.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveSyncSimulator<'g> {
+    sim: SyncSimulator<'g>,
+}
+
+impl<'g> NaiveSyncSimulator<'g> {
+    /// Wraps a simulator handle.
+    pub fn new(sim: SyncSimulator<'g>) -> Self {
+        NaiveSyncSimulator { sim }
+    }
+
+    /// Runs exactly like [`SyncSimulator::run`], using the historical
+    /// nested-`Vec` implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SyncSimulator::run`].
+    pub fn run<A, F>(&self, config: SyncConfig, mut make: F) -> ExecutionReport
+    where
+        A: NodeAlgorithm,
+        F: FnMut(NodeInit<'_>) -> A,
+    {
+        let graph = self.sim.graph();
+        let ids = self.sim.ids();
+        let level = self.sim.level();
+        let n = graph.num_nodes();
+        let neighbor_lists: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| graph.neighbor_vec(NodeId(i as u32)))
+            .collect();
+
+        let mut nodes: Vec<A> = (0..n)
+            .map(|i| {
+                let v = NodeId(i as u32);
+                make(NodeInit {
+                    node: v,
+                    num_nodes: n,
+                    knowledge: KnowledgeView::new(graph, ids, level, v),
+                })
+            })
+            .collect();
+
+        let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); n];
+        let mut messages: u64 = 0;
+        let mut max_bits: u32 = 0;
+        let mut rounds: u64 = 0;
+        let mut completed = false;
+        let mut per_edge: Option<Vec<u64>> =
+            config.track_per_edge.then(|| vec![0u64; graph.num_edges()]);
+        let mut utilized: Option<Vec<bool>> = config
+            .track_utilization
+            .then(|| vec![false; graph.num_edges()]);
+        let mut trace: Option<Trace> = config.record_trace.then(Trace::new);
+
+        loop {
+            let in_flight: usize = inboxes.iter().map(Vec::len).sum();
+            if rounds > 0 && in_flight == 0 && nodes.iter().all(NodeAlgorithm::is_done) {
+                completed = true;
+                break;
+            }
+            if rounds >= config.max_rounds {
+                break;
+            }
+
+            let mut next_inboxes: Vec<Vec<Message>> = vec![Vec::new(); n];
+            let mut round_trace: Vec<TraceMessage> = Vec::new();
+
+            for i in 0..n {
+                let v = NodeId(i as u32);
+                let inbox = std::mem::take(&mut inboxes[i]);
+                let knowledge = KnowledgeView::new(graph, ids, level, v);
+                let mut ctx = RoundContext::new(v, rounds, knowledge, &neighbor_lists[i]);
+                nodes[i].on_round(&mut ctx, &inbox);
+                for (to, msg) in ctx.take_outbox() {
+                    let bits = msg.size_bits();
+                    assert!(
+                        bits <= config.message_bit_limit,
+                        "node {v} sent a {bits}-bit message, exceeding the CONGEST budget of {} bits",
+                        config.message_bit_limit
+                    );
+                    max_bits = max_bits.max(bits);
+                    messages += 1;
+                    let edge = graph
+                        .edge_between(v, to)
+                        .expect("send target verified to be a neighbour");
+                    if let Some(pe) = per_edge.as_mut() {
+                        pe[edge.index()] += 1;
+                    }
+                    if let Some(util) = utilized.as_mut() {
+                        mark_utilized(graph, ids, util, v, to, edge, &msg);
+                    }
+                    if trace.is_some() {
+                        round_trace.push(TraceMessage {
+                            from: v,
+                            to,
+                            message: msg,
+                        });
+                    }
+                    next_inboxes[to.index()].push(msg);
+                }
+            }
+
+            if let Some(t) = trace.as_mut() {
+                t.push_round(round_trace);
+            }
+            inboxes = next_inboxes;
+            rounds += 1;
+        }
+
+        ExecutionReport {
+            completed,
+            rounds,
+            messages,
+            max_message_bits: max_bits,
+            outputs: nodes.iter().map(NodeAlgorithm::output).collect(),
+            per_edge_messages: per_edge,
+            utilized_edges: utilized,
+            trace,
+        }
+    }
+}

@@ -1,11 +1,20 @@
 //! The synchronous round-driven CONGEST simulator.
+//!
+//! The round loop itself lives in the [`crate::engine`] primitives: a
+//! [`NodeRuntime`] steps the automata, a [`DeliveryBuffer`]/[`MessageArena`]
+//! pair double-buffers messages through one flat allocation per round, and
+//! all instrumentation (traces, per-edge counters, utilized edges) hangs off
+//! the [`RoundObserver`] trait so the uninstrumented path pays nothing for
+//! it. A bit-identical naive implementation is kept in [`crate::reference`]
+//! for differential tests and throughput baselines.
 
 use serde::{Deserialize, Serialize};
 use symbreak_graphs::{EdgeId, Graph, IdAssignment, NodeId};
 
+use crate::engine::{DeliveryBuffer, MessageArena, NodeRuntime, NoopObserver, RoundObserver};
 use crate::model::DEFAULT_MESSAGE_BITS;
 use crate::trace::{Trace, TraceMessage};
-use crate::{KnowledgeView, KtLevel, Message, NodeAlgorithm, NodeInit, RoundContext, SimError};
+use crate::{KnowledgeView, KtLevel, Message, NodeAlgorithm, NodeInit, SimError};
 
 /// Configuration of a synchronous run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -154,47 +163,78 @@ impl<'g> SyncSimulator<'g> {
     /// Runs the algorithm produced per node by `make` until every node is
     /// done and no messages are in flight, or until the round limit.
     ///
+    /// When `config` requests no instrumentation, the run uses the
+    /// branch-free fast path ([`NoopObserver`]); otherwise the built-in
+    /// [`Instrumentation`] observer collects whatever the config asked for.
+    ///
     /// # Panics
     ///
     /// Panics if a node sends a message exceeding the configured bit limit or
     /// sends to a non-neighbour — both indicate bugs in the node algorithm.
-    pub fn run<A, F>(&self, config: SyncConfig, mut make: F) -> ExecutionReport
+    pub fn run<A, F>(&self, config: SyncConfig, make: F) -> ExecutionReport
     where
         A: NodeAlgorithm,
         F: FnMut(NodeInit<'_>) -> A,
     {
+        if config.record_trace || config.track_utilization || config.track_per_edge {
+            let mut instr = Instrumentation::new(self.graph, self.ids, config);
+            let mut report = self.run_observed(config, make, &mut instr);
+            let Instrumentation {
+                per_edge,
+                utilized,
+                trace,
+                ..
+            } = instr;
+            report.per_edge_messages = per_edge;
+            report.utilized_edges = utilized;
+            report.trace = trace;
+            report
+        } else {
+            self.run_observed(config, make, &mut NoopObserver)
+        }
+    }
+
+    /// Runs like [`SyncSimulator::run`] with a caller-supplied
+    /// [`RoundObserver`] receiving every message and round boundary.
+    ///
+    /// The built-in instrumentation fields of the returned
+    /// [`ExecutionReport`] (`per_edge_messages`, `utilized_edges`, `trace`)
+    /// are `None` here — the observer owns whatever it recorded.
+    pub fn run_observed<A, F, O>(
+        &self,
+        config: SyncConfig,
+        make: F,
+        observer: &mut O,
+    ) -> ExecutionReport
+    where
+        A: NodeAlgorithm,
+        F: FnMut(NodeInit<'_>) -> A,
+        O: RoundObserver,
+    {
         let n = self.graph.num_nodes();
-        let neighbor_lists: Vec<Vec<NodeId>> = (0..n)
-            .map(|i| self.graph.neighbor_vec(NodeId(i as u32)))
-            .collect();
+        let mut runtime = NodeRuntime::new(self.graph, self.ids, self.level, make);
+        let mut arena = MessageArena::new(n);
+        let mut staging = DeliveryBuffer::new(n);
 
-        let mut nodes: Vec<A> = (0..n)
-            .map(|i| {
-                let v = NodeId(i as u32);
-                make(NodeInit {
-                    node: v,
-                    num_nodes: n,
-                    knowledge: KnowledgeView::new(self.graph, self.ids, self.level, v),
-                })
-            })
-            .collect();
-
-        let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); n];
         let mut messages: u64 = 0;
         let mut max_bits: u32 = 0;
         let mut rounds: u64 = 0;
         let mut completed = false;
-        let mut per_edge: Option<Vec<u64>> = config
-            .track_per_edge
-            .then(|| vec![0u64; self.graph.num_edges()]);
-        let mut utilized: Option<Vec<bool>> = config
-            .track_utilization
-            .then(|| vec![false; self.graph.num_edges()]);
-        let mut trace: Option<Trace> = config.record_trace.then(Trace::new);
+
+        // The loop is event-driven: a round only steps its *active* nodes —
+        // this round's message receivers plus every node that is not done.
+        // The `NodeAlgorithm::is_done` contract makes skipping the rest
+        // sound (a done node is only re-invoked when messages arrive), and
+        // round 0 activates everyone for initialisation. Per-round cost is
+        // O(active + messages), independent of the node count.
+        let mut active: Vec<u32> = (0..n as u32).collect();
+        let mut undone: Vec<u32> = Vec::new();
+        let mut receivers: Vec<u32> = Vec::new();
+        let mut done = runtime.done_flags();
+        let mut undone_count = done.iter().filter(|&&d| !d).count();
 
         loop {
-            let in_flight: usize = inboxes.iter().map(Vec::len).sum();
-            if rounds > 0 && in_flight == 0 && nodes.iter().all(NodeAlgorithm::is_done) {
+            if rounds > 0 && arena.len() == 0 && undone_count == 0 {
                 completed = true;
                 break;
             }
@@ -202,50 +242,46 @@ impl<'g> SyncSimulator<'g> {
                 break;
             }
 
-            let mut next_inboxes: Vec<Vec<Message>> = vec![Vec::new(); n];
-            let mut round_trace: Vec<TraceMessage> = Vec::new();
-
-            for i in 0..n {
-                let v = NodeId(i as u32);
-                let inbox = std::mem::take(&mut inboxes[i]);
-                let knowledge = KnowledgeView::new(self.graph, self.ids, self.level, v);
-                let mut ctx = RoundContext::new(v, rounds, knowledge, &neighbor_lists[i]);
-                nodes[i].on_round(&mut ctx, &inbox);
-                for (to, msg) in ctx.take_outbox() {
-                    let bits = msg.size_bits();
-                    assert!(
-                        bits <= config.message_bit_limit,
-                        "node {v} sent a {bits}-bit message, exceeding the CONGEST budget of {} bits",
-                        config.message_bit_limit
-                    );
-                    max_bits = max_bits.max(bits);
-                    messages += 1;
-                    let edge = self
-                        .graph
-                        .edge_between(v, to)
-                        .expect("send target verified to be a neighbour");
-                    if let Some(pe) = per_edge.as_mut() {
-                        pe[edge.index()] += 1;
+            undone.clear();
+            for &iu in &active {
+                let i = iu as usize;
+                let now_done = runtime.step(
+                    i,
+                    rounds,
+                    arena.inbox(i),
+                    config.message_bit_limit,
+                    &mut max_bits,
+                    &mut |from, to, msg| {
+                        messages += 1;
+                        if O::ACTIVE {
+                            let edge = self
+                                .graph
+                                .edge_between(from, to)
+                                .expect("send target verified to be a neighbour");
+                            observer.on_message(from, to, edge, &msg);
+                        }
+                        staging.stage(to, msg);
+                    },
+                );
+                if now_done != done[i] {
+                    done[i] = now_done;
+                    if now_done {
+                        undone_count -= 1;
+                    } else {
+                        undone_count += 1;
                     }
-                    if let Some(util) = utilized.as_mut() {
-                        self.mark_utilized(util, v, to, edge, &msg);
-                    }
-                    if let Some(t) = trace.as_mut() {
-                        round_trace.push(TraceMessage {
-                            from: v,
-                            to,
-                            message: msg.clone(),
-                        });
-                        let _ = t; // trace is pushed per round below
-                    }
-                    next_inboxes[to.index()].push(msg);
+                }
+                if !now_done {
+                    // `active` is ascending, so `undone` stays sorted.
+                    undone.push(iu);
                 }
             }
 
-            if let Some(t) = trace.as_mut() {
-                t.push_round(round_trace);
+            if O::ACTIVE {
+                observer.on_round_end(rounds);
             }
-            inboxes = next_inboxes;
+            staging.flip(&mut arena, &mut receivers);
+            merge_sorted_into(&receivers, &undone, &mut active);
             rounds += 1;
         }
 
@@ -254,35 +290,111 @@ impl<'g> SyncSimulator<'g> {
             rounds,
             messages,
             max_message_bits: max_bits,
-            outputs: nodes.iter().map(NodeAlgorithm::output).collect(),
-            per_edge_messages: per_edge,
-            utilized_edges: utilized,
-            trace,
+            outputs: runtime.outputs(),
+            per_edge_messages: None,
+            utilized_edges: None,
+            trace: None,
+        }
+    }
+}
+
+/// Merges two sorted, duplicate-free node lists into `out` (sorted,
+/// deduplicated) — the next round's active set.
+fn merge_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// The built-in observer behind [`SyncConfig`]'s instrumentation flags.
+struct Instrumentation<'g> {
+    graph: &'g Graph,
+    ids: &'g IdAssignment,
+    per_edge: Option<Vec<u64>>,
+    utilized: Option<Vec<bool>>,
+    trace: Option<Trace>,
+    round_buf: Vec<TraceMessage>,
+}
+
+impl<'g> Instrumentation<'g> {
+    fn new(graph: &'g Graph, ids: &'g IdAssignment, config: SyncConfig) -> Self {
+        Instrumentation {
+            graph,
+            ids,
+            per_edge: config.track_per_edge.then(|| vec![0; graph.num_edges()]),
+            utilized: config
+                .track_utilization
+                .then(|| vec![false; graph.num_edges()]),
+            trace: config.record_trace.then(Trace::new),
+            round_buf: Vec::new(),
+        }
+    }
+}
+
+impl RoundObserver for Instrumentation<'_> {
+    fn on_message(&mut self, from: NodeId, to: NodeId, edge: EdgeId, message: &Message) {
+        if let Some(pe) = self.per_edge.as_mut() {
+            pe[edge.index()] += 1;
+        }
+        if let Some(util) = self.utilized.as_mut() {
+            mark_utilized(self.graph, self.ids, util, from, to, edge, message);
+        }
+        if self.trace.is_some() {
+            self.round_buf.push(TraceMessage {
+                from,
+                to,
+                message: *message,
+            });
         }
     }
 
-    /// Marks edges utilized by one message per Definition 2.3:
-    /// (i) the edge the message travels on; (ii) for every ID field `φ(w)`
-    /// contained in the message, the edges `{sender, w}` and `{receiver, w}`
-    /// if they exist (sender sends the ID of its neighbour `w`; receiver
-    /// receives the ID of its neighbour `w`).
-    fn mark_utilized(
-        &self,
-        utilized: &mut [bool],
-        from: NodeId,
-        to: NodeId,
-        edge: EdgeId,
-        msg: &Message,
-    ) {
-        utilized[edge.index()] = true;
-        for &id in msg.ids() {
-            if let Some(w) = self.ids.node_with_id(id) {
-                if let Some(e) = self.graph.edge_between(from, w) {
-                    utilized[e.index()] = true;
-                }
-                if let Some(e) = self.graph.edge_between(to, w) {
-                    utilized[e.index()] = true;
-                }
+    fn on_round_end(&mut self, _round: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push_round(std::mem::take(&mut self.round_buf));
+        }
+    }
+}
+
+/// Marks edges utilized by one message per Definition 2.3:
+/// (i) the edge the message travels on; (ii) for every ID field `φ(w)`
+/// contained in the message, the edges `{sender, w}` and `{receiver, w}`
+/// if they exist (sender sends the ID of its neighbour `w`; receiver
+/// receives the ID of its neighbour `w`).
+pub(crate) fn mark_utilized(
+    graph: &Graph,
+    ids: &IdAssignment,
+    utilized: &mut [bool],
+    from: NodeId,
+    to: NodeId,
+    edge: EdgeId,
+    msg: &Message,
+) {
+    utilized[edge.index()] = true;
+    for &id in msg.ids() {
+        if let Some(w) = ids.node_with_id(id) {
+            if let Some(e) = graph.edge_between(from, w) {
+                utilized[e.index()] = true;
+            }
+            if let Some(e) = graph.edge_between(to, w) {
+                utilized[e.index()] = true;
             }
         }
     }
@@ -291,6 +403,7 @@ impl<'g> SyncSimulator<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RoundContext;
     use symbreak_graphs::generators;
 
     /// Every node sends its own ID to every neighbour in round 0, then stops.

@@ -330,7 +330,10 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed + 100);
             let out = run(&g, &ids, Alg1Config::default(), &mut rng).unwrap();
             assert!(verify::is_proper_coloring(&g, &out.colors), "n={n} p={p}");
-            assert!(verify::uses_colors_below(&out.colors, g.max_degree() as u64 + 1));
+            assert!(verify::uses_colors_below(
+                &out.colors,
+                g.max_degree() as u64 + 1
+            ));
             assert_eq!(out.max_degree as usize, g.max_degree());
         }
     }

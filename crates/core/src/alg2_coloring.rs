@@ -105,7 +105,9 @@ impl Alg2Node {
             let taken = u64::from(self.color == Some(c) || proposes_c_with_priority);
             ctx.send(
                 sender,
-                Message::tagged(TAG_RESPONSE).with_value(c).with_value(taken),
+                Message::tagged(TAG_RESPONSE)
+                    .with_value(c)
+                    .with_value(taken),
             );
         }
     }
@@ -128,9 +130,11 @@ impl NodeAlgorithm for Alg2Node {
                             targets.push(u);
                         }
                     }
-                    let query = Message::tagged(TAG_QUERY).with_value(c).with_id(self.own_id);
+                    let query = Message::tagged(TAG_QUERY)
+                        .with_value(c)
+                        .with_id(self.own_id);
                     for u in targets {
-                        ctx.send(u, query.clone());
+                        ctx.send(u, query);
                     }
                 }
             }
@@ -139,9 +143,9 @@ impl NodeAlgorithm for Alg2Node {
             }
             _ => {
                 if let Some(c) = self.candidate.take() {
-                    let blocked = inbox
-                        .iter()
-                        .any(|m| m.tag() == TAG_RESPONSE && m.values()[0] == c && m.values()[1] == 1);
+                    let blocked = inbox.iter().any(|m| {
+                        m.tag() == TAG_RESPONSE && m.values()[0] == c && m.values()[1] == 1
+                    });
                     if !blocked {
                         self.color = Some(c);
                     }
@@ -225,8 +229,7 @@ pub fn run<R: Rng + ?Sized>(
 
     // Shared randomness: (C/ε)·log³ n bits over an Õ(n)-edge danner.
     let seed_bits = ((log_n.powi(3) / config.epsilon).ceil() as usize).max(64);
-    let setup_outcome =
-        setup::try_shared_randomness(graph, ids, config.delta, seed_bits, rng)?;
+    let setup_outcome = setup::try_shared_randomness(graph, ids, config.delta, seed_bits, rng)?;
     costs.absorb("setup", &setup_outcome.costs);
     let carrier = setup_outcome.danner.subgraph().clone();
     let tree = setup_outcome.tree;
@@ -242,9 +245,8 @@ pub fn run<R: Rng + ?Sized>(
     let palette_size = (((1.0 + config.epsilon) * max_degree as f64).ceil() as u64)
         .max(max_degree + 1)
         .max(1);
-    let max_phases = ((config.phase_budget_factor * log_n / config.epsilon.min(1.0)).ceil()
-        as usize)
-        .max(8);
+    let max_phases =
+        ((config.phase_budget_factor * log_n / config.epsilon.min(1.0)).ceil() as usize).max(8);
 
     let (colors, report) = run_phases(graph, ids, &shared, palette_size, max_phases);
     costs.charge_report("colour trial phases", &report);
@@ -279,8 +281,11 @@ mod tests {
 
     #[test]
     fn colors_properly_within_palette() {
-        for (n, p, eps, seed) in [(50usize, 0.3, 0.5f64, 1u64), (80, 0.6, 1.0, 2), (60, 0.4, 0.25, 3)]
-        {
+        for (n, p, eps, seed) in [
+            (50usize, 0.3, 0.5f64, 1u64),
+            (80, 0.6, 1.0, 2),
+            (60, 0.4, 0.25, 3),
+        ] {
             let (g, ids) = instance(n, p, seed);
             let mut rng = StdRng::seed_from_u64(seed + 50);
             let config = Alg2Config {
@@ -288,7 +293,10 @@ mod tests {
                 ..Alg2Config::default()
             };
             let out = run(&g, &ids, config, &mut rng).unwrap();
-            assert!(verify::is_proper_coloring(&g, &out.colors), "n={n} eps={eps}");
+            assert!(
+                verify::is_proper_coloring(&g, &out.colors),
+                "n={n} eps={eps}"
+            );
             assert!(verify::uses_colors_below(&out.colors, out.palette_size));
         }
     }
@@ -324,7 +332,10 @@ mod tests {
         };
         assert!(matches!(
             run(&g, &ids, config, &mut rng).unwrap_err(),
-            CoreError::InvalidParameter { name: "epsilon", .. }
+            CoreError::InvalidParameter {
+                name: "epsilon",
+                ..
+            }
         ));
         let g2 = generators::disjoint_union(&[generators::clique(3), generators::clique(3)]);
         let ids2 = IdAssignment::identity(6);

@@ -236,14 +236,9 @@ pub fn run<R: Rng + ?Sized>(
     // survives only if both endpoints are undecided.
     let dominated: Vec<bool> = graph
         .nodes()
-        .map(|v| {
-            greedy_mis[v.index()] || graph.neighbors(v).any(|u| greedy_mis[u.index()])
-        })
+        .map(|v| greedy_mis[v.index()] || graph.neighbors(v).any(|u| greedy_mis[u.index()]))
         .collect();
-    let undecided: Vec<bool> = graph
-        .nodes()
-        .map(|v| !dominated[v.index()])
-        .collect();
+    let undecided: Vec<bool> = graph.nodes().map(|v| !dominated[v.index()]).collect();
     let remnant_neighbors: Vec<Vec<NodeId>> = graph
         .nodes()
         .map(|v| {
@@ -301,12 +296,20 @@ mod tests {
 
     #[test]
     fn computes_a_valid_mis_on_random_graphs() {
-        for (n, p, seed) in [(40usize, 0.2, 1u64), (80, 0.5, 2), (60, 0.9, 3), (50, 0.05, 4)] {
+        for (n, p, seed) in [
+            (40usize, 0.2, 1u64),
+            (80, 0.5, 2),
+            (60, 0.9, 3),
+            (50, 0.05, 4),
+        ] {
             let (g, ids) = instance(n, p, seed);
             let mut rng = StdRng::seed_from_u64(seed + 10);
             let out = run(&g, &ids, Alg3Config::default(), &mut rng).unwrap();
             assert!(verify::is_mis(&g, &out.in_mis), "n={n} p={p}");
-            assert!(out.costs.charged_messages() == 0, "Algorithm 3 charges nothing");
+            assert!(
+                out.costs.charged_messages() == 0,
+                "Algorithm 3 charges nothing"
+            );
         }
     }
 

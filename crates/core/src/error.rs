@@ -37,7 +37,10 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
             CoreError::DidNotConverge { stage } => {
-                write!(f, "stage `{stage}` did not converge within its round budget")
+                write!(
+                    f,
+                    "stage `{stage}` did not converge within its round budget"
+                )
             }
         }
     }
@@ -69,9 +72,14 @@ mod tests {
     fn display_and_conversion() {
         assert!(CoreError::Disconnected.to_string().contains("connected"));
         let e: CoreError = DannerError::InvalidDelta { delta: 2.0 }.into();
-        assert!(matches!(e, CoreError::InvalidParameter { name: "delta", .. }));
+        assert!(matches!(
+            e,
+            CoreError::InvalidParameter { name: "delta", .. }
+        ));
         let e: CoreError = DannerError::Disconnected.into();
         assert_eq!(e, CoreError::Disconnected);
-        assert!(CoreError::DidNotConverge { stage: "x" }.to_string().contains('x'));
+        assert!(CoreError::DidNotConverge { stage: "x" }
+            .to_string()
+            .contains('x'));
     }
 }

@@ -45,20 +45,17 @@ impl ChangPartition {
     ///
     /// The bucket count is `k = ⌈√Δ⌉` and the leftover probability is
     /// `q = min(1/2, C·√(log n) / Δ^{1/4})` as in Section 3.1.
-    pub fn compute(
-        shared: &SharedRandomness,
-        level: usize,
-        n: usize,
-        max_degree: usize,
-    ) -> Self {
+    pub fn compute(shared: &SharedRandomness, level: usize, n: usize, max_degree: usize) -> Self {
         let delta = max_degree.max(1) as f64;
         let num_buckets = delta.sqrt().ceil().max(1.0) as usize;
         let q = (2.0 * (n.max(2) as f64).ln().sqrt() / delta.powf(0.25)).min(0.5);
         let independence = tail::log_n_independence(n);
         let h_leftover =
             shared.indexed_hash_fn("chang.leftover", level, independence, LEFTOVER_RESOLUTION);
-        let h_bucket = shared.indexed_hash_fn("chang.bucket", level, independence, num_buckets as u64);
-        let h_color = shared.indexed_hash_fn("chang.color", level, independence, num_buckets as u64);
+        let h_bucket =
+            shared.indexed_hash_fn("chang.bucket", level, independence, num_buckets as u64);
+        let h_color =
+            shared.indexed_hash_fn("chang.color", level, independence, num_buckets as u64);
         ChangPartition {
             level,
             num_buckets,

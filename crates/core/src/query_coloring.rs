@@ -133,7 +133,9 @@ impl StageNode {
             let taken = u64::from(self.color == Some(c));
             ctx.send(
                 sender,
-                Message::tagged(TAG_RESPONSE).with_value(c).with_value(taken),
+                Message::tagged(TAG_RESPONSE)
+                    .with_value(c)
+                    .with_value(taken),
             );
         }
     }
@@ -154,7 +156,7 @@ impl StageNode {
 
     fn send_active(&self, ctx: &mut RoundContext<'_>, msg: &Message) {
         for i in 0..self.active.len() {
-            ctx.send(self.active[i], msg.clone());
+            ctx.send(self.active[i], *msg);
         }
     }
 
@@ -185,7 +187,7 @@ impl NodeAlgorithm for StageNode {
                             let targets = self.plan.targets(self.me, c);
                             for u in targets {
                                 if !self.active_set.contains(&u) {
-                                    ctx.send(u, query.clone());
+                                    ctx.send(u, query);
                                 }
                             }
                         }
@@ -329,8 +331,7 @@ mod tests {
         // the centre could hold under the level-0 partition.
         let partition = ChangPartition::compute(&shared, 0, 8, 7);
         let centre_id = ids.id_of(NodeId(0));
-        let centre_color = (0..8u64)
-            .find(|&c| partition.id_could_hold_color(centre_id, c));
+        let centre_color = (0..8u64).find(|&c| partition.id_could_hold_color(centre_id, c));
         let Some(centre_color) = centre_color else {
             // The centre landed in L under this seed; nothing to test.
             return;

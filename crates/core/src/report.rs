@@ -92,7 +92,16 @@ impl fmt::Display for MeasurementTable {
         writeln!(
             f,
             "{:<34} {:>6} {:>9} {:>6} {:>12} {:>12} {:>8} {:>8} {:>9} {:>6}",
-            "algorithm", "n", "m", "Δ", "sim msgs", "chg msgs", "rounds", "msg/m", "msg/n^1.5", "valid"
+            "algorithm",
+            "n",
+            "m",
+            "Δ",
+            "sim msgs",
+            "chg msgs",
+            "rounds",
+            "msg/m",
+            "msg/n^1.5",
+            "valid"
         )?;
         for r in &self.rows {
             writeln!(

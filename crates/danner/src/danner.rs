@@ -23,7 +23,9 @@ pub enum DannerError {
 impl fmt::Display for DannerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DannerError::Disconnected => write!(f, "danner construction requires a connected graph"),
+            DannerError::Disconnected => {
+                write!(f, "danner construction requires a connected graph")
+            }
             DannerError::InvalidDelta { delta } => {
                 write!(f, "danner parameter delta={delta} must lie in [0, 1]")
             }
@@ -210,7 +212,10 @@ mod tests {
     fn errors_reported() {
         let g = generators::disjoint_union(&[generators::path(2), generators::path(2)]);
         let ids = IdAssignment::identity(4);
-        assert_eq!(Danner::build(&g, &ids, 0.5).unwrap_err(), DannerError::Disconnected);
+        assert_eq!(
+            Danner::build(&g, &ids, 0.5).unwrap_err(),
+            DannerError::Disconnected
+        );
         let g = generators::path(3);
         let ids = IdAssignment::identity(3);
         assert!(matches!(

@@ -66,7 +66,7 @@ impl NodeAlgorithm for BroadcastNode {
                 .with_value(idx as u64)
                 .with_value(word);
             for i in 0..self.children.len() {
-                ctx.send(self.children[i], msg.clone());
+                ctx.send(self.children[i], msg);
             }
             self.next_to_send += 1;
         }

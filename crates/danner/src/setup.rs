@@ -65,7 +65,10 @@ pub fn try_shared_randomness<R: Rng + ?Sized>(
 
     // Step 1a: danner construction (charged, Theorem 1.1).
     let danner = Danner::build(graph, ids, delta)?;
-    costs.charge("danner construction (charged, Thm 1.1)", danner.construction_cost());
+    costs.charge(
+        "danner construction (charged, Thm 1.1)",
+        danner.construction_cost(),
+    );
 
     // Step 1b: leader election over the danner (charged, Corollary 1.2): the
     // minimum-ID node wins; the distributed election floods over the danner,

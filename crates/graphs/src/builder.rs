@@ -95,17 +95,42 @@ impl GraphBuilder {
     }
 
     /// Finalises the builder into an immutable [`Graph`].
+    ///
+    /// The CSR arrays are assembled directly with a counting sort over the
+    /// edge list — two passes and two allocations, no per-node `Vec`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has `2³¹` or more edges — the CSR offsets index
+    /// `2m` half-edges with `u32`s.
     pub fn build(self) -> Graph {
-        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); self.num_nodes];
+        let n = self.num_nodes;
+        assert!(
+            2 * self.edges.len() <= u32::MAX as usize,
+            "graph has {} edges; the CSR u32 offsets support at most 2^31 - 1",
+            self.edges.len()
+        );
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, v) in &self.edges {
+            offsets[u.index() + 1] += 1;
+            offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![(NodeId(0), EdgeId(0)); 2 * self.edges.len()];
         for (i, &(u, v)) in self.edges.iter().enumerate() {
             let e = EdgeId(i as u32);
-            adj[u.index()].push((v, e));
-            adj[v.index()].push((u, e));
+            targets[cursor[u.index()] as usize] = (v, e);
+            cursor[u.index()] += 1;
+            targets[cursor[v.index()] as usize] = (u, e);
+            cursor[v.index()] += 1;
         }
-        for row in &mut adj {
-            row.sort_unstable_by_key(|&(w, _)| w);
+        for i in 0..n {
+            targets[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable_by_key(|&(w, _)| w);
         }
-        Graph::from_parts(adj, self.edges)
+        Graph::from_csr(offsets, targets, self.edges)
     }
 }
 

@@ -169,7 +169,10 @@ pub fn disjoint_cycles(count: usize, len: usize) -> Graph {
 /// matchings (requires even `n`); parallel edges are dropped so the actual
 /// degree can be slightly below `d`.
 pub fn random_near_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(n % 2 == 0, "random_near_regular needs an even number of nodes");
+    assert!(
+        n.is_multiple_of(2),
+        "random_near_regular needs an even number of nodes"
+    );
     let mut b = GraphBuilder::new(n);
     for _ in 0..d {
         let mut perm: Vec<u32> = (0..n as u32).collect();
@@ -244,7 +247,10 @@ mod tests {
         let g = gnp(200, 0.25, &mut rng);
         let expected = 0.25 * (200.0 * 199.0 / 2.0);
         let actual = g.num_edges() as f64;
-        assert!((actual - expected).abs() < 0.15 * expected, "m={actual} vs {expected}");
+        assert!(
+            (actual - expected).abs() < 0.15 * expected,
+            "m={actual} vs {expected}"
+        );
     }
 
     #[test]

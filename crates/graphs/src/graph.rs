@@ -1,6 +1,5 @@
 //! The core immutable undirected graph type.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -61,7 +60,14 @@ impl From<usize> for EdgeId {
     }
 }
 
-/// An immutable, undirected, simple graph stored as sorted adjacency lists.
+/// An immutable, undirected, simple graph in compressed sparse row (CSR)
+/// form: one flat `(neighbour, edge)` array indexed by per-node offsets,
+/// with each node's slice sorted by neighbour.
+///
+/// The flat layout keeps the whole adjacency structure in two allocations
+/// (instead of one `Vec` per node), so neighbour iteration is a contiguous
+/// scan and the simulator's hot loop stays cache-friendly on graphs with
+/// hundreds of thousands of nodes.
 ///
 /// The graph doubles as the communication network of the CONGEST simulator,
 /// so it exposes both neighbour iteration and `(neighbour, edge)` iteration —
@@ -84,15 +90,36 @@ impl From<usize> for EdgeId {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
-    /// `adj[v]` is the list of `(neighbor, edge)` pairs, sorted by neighbor.
-    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// CSR row offsets: node `v`'s `(neighbour, edge)` pairs occupy
+    /// `targets[offsets[v] as usize .. offsets[v + 1] as usize]`.
+    /// Always has `num_nodes() + 1` entries; the last equals `2 * m`.
+    offsets: Vec<u32>,
+    /// Flat `(neighbour, incident edge)` pairs of every node, row by row,
+    /// each row sorted by neighbour.
+    targets: Vec<(NodeId, EdgeId)>,
     /// `edges[e]` is the pair of endpoints `(u, v)` with `u < v`.
     edges: Vec<(NodeId, NodeId)>,
 }
 
 impl Graph {
-    pub(crate) fn from_parts(adj: Vec<Vec<(NodeId, EdgeId)>>, edges: Vec<(NodeId, NodeId)>) -> Self {
-        Graph { adj, edges }
+    /// Assembles a graph from prebuilt CSR arrays. The builder is the only
+    /// caller; it guarantees that `offsets` is monotone with `n + 1` entries,
+    /// that every row of `targets` is sorted by neighbour, and that `targets`
+    /// mirrors `edges` exactly twice.
+    pub(crate) fn from_csr(
+        offsets: Vec<u32>,
+        targets: Vec<(NodeId, EdgeId)>,
+        edges: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert_eq!(targets.len(), 2 * edges.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Graph {
+            offsets,
+            targets,
+            edges,
+        }
     }
 
     /// Creates a graph with `n` nodes and no edges.
@@ -104,15 +131,24 @@ impl Graph {
     /// ```
     pub fn empty(n: usize) -> Self {
         Graph {
-            adj: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
             edges: Vec::new(),
         }
+    }
+
+    /// The CSR row of `v`: its `(neighbour, edge)` pairs sorted by neighbour.
+    #[inline]
+    fn row(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.targets[lo..hi]
     }
 
     /// Number of nodes `n`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges `m`.
@@ -123,7 +159,7 @@ impl Graph {
 
     /// Iterates over all node identifiers `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len() as u32).map(NodeId)
+        (0..self.num_nodes() as u32).map(NodeId)
     }
 
     /// Iterates over all edges as `(EdgeId, u, v)` triples with `u < v`.
@@ -164,28 +200,32 @@ impl Graph {
     /// Degree of node `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
     }
 
     /// Maximum degree Δ of the graph (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates over the neighbours of `v` in increasing [`NodeId`] order.
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj[v.index()].iter().map(|&(u, _)| u)
+        self.row(v).iter().map(|&(u, _)| u)
     }
 
     /// Iterates over `(neighbour, incident edge)` pairs of `v` in increasing
     /// neighbour order.
     pub fn incident(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
-        self.adj[v.index()].iter().copied()
+        self.row(v).iter().copied()
     }
 
     /// Returns the edge between `u` and `v`, if any.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        let row = &self.adj[u.index()];
+        let row = self.row(u);
         row.binary_search_by_key(&v, |&(w, _)| w)
             .ok()
             .map(|i| row[i].1)
@@ -207,21 +247,32 @@ impl Graph {
     ///
     /// This is the extra initial knowledge a node has in the KT-2 CONGEST
     /// model and is used by Algorithm 3 of the paper.
+    ///
+    /// Runs in `O(sum of neighbour degrees + output·log(output))`: a seen
+    /// bitmap over the node space replaces per-candidate adjacency searches.
     pub fn two_hop_neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        let mut marks: BTreeMap<NodeId, ()> = BTreeMap::new();
+        let mut seen = vec![false; self.num_nodes()];
+        // Distance-0 and distance-1 nodes are excluded by pre-marking them.
+        seen[v.index()] = true;
+        for u in self.neighbors(v) {
+            seen[u.index()] = true;
+        }
+        let mut out = Vec::new();
         for u in self.neighbors(v) {
             for w in self.neighbors(u) {
-                if w != v && !self.has_edge(v, w) {
-                    marks.insert(w, ());
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    out.push(w);
                 }
             }
         }
-        marks.into_keys().collect()
+        out.sort_unstable();
+        out
     }
 
     /// Sum of all node degrees; equals `2 * num_edges()`.
     pub fn degree_sum(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum()
+        self.targets.len()
     }
 
     /// Average degree `2m / n`; 0.0 for an empty graph.
@@ -354,6 +405,44 @@ mod tests {
     fn degree_sum_is_twice_edge_count() {
         let g = crate::generators::clique(6);
         assert_eq!(g.degree_sum(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn csr_rows_partition_the_target_array() {
+        let g = crate::generators::clique(5);
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(total, g.degree_sum());
+        // Every incident pair names an edge whose endpoints include v.
+        for v in g.nodes() {
+            for (u, e) in g.incident(v) {
+                let (a, b) = g.endpoints(e);
+                assert!(a == v || b == v);
+                assert!(u == a || u == b);
+                assert_ne!(u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rows_between_occupied_rows() {
+        // Node 1 is isolated between two nodes of positive degree.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(2));
+        let g = b.build();
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(1)), 0);
+        assert_eq!(g.neighbors(NodeId(1)).count(), 0);
+        assert_eq!(g.degree(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn two_hop_on_star_is_all_other_leaves() {
+        let g = crate::generators::star(6);
+        // From a leaf, every other leaf is exactly two hops away.
+        let hops = g.two_hop_neighbors(NodeId(1));
+        assert_eq!(hops, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)]);
+        // From the centre, everything is one hop away.
+        assert!(g.two_hop_neighbors(NodeId(0)).is_empty());
     }
 
     #[test]

@@ -24,10 +24,16 @@ pub struct IdSpace {
 
 impl IdSpace {
     /// The canonical polynomial ID space of size `n³` used by default.
-    pub const CUBIC: IdSpace = IdSpace { exponent: 3, factor: 1 };
+    pub const CUBIC: IdSpace = IdSpace {
+        exponent: 3,
+        factor: 1,
+    };
 
     /// The smallest space `[0, n)` (IDs are a permutation of the indices).
-    pub const MINIMAL: IdSpace = IdSpace { exponent: 1, factor: 1 };
+    pub const MINIMAL: IdSpace = IdSpace {
+        exponent: 1,
+        factor: 1,
+    };
 
     /// Size of the space for a graph with `n` nodes (saturating).
     pub fn size(&self, n: usize) -> u64 {
@@ -221,7 +227,10 @@ mod tests {
         assert_eq!(IdSpace::CUBIC.size(10), 1000);
         assert_eq!(IdSpace::MINIMAL.size(10), 10);
         // Saturating arithmetic: huge spaces do not panic and stay at least n.
-        let big = IdSpace { exponent: 10, factor: 1000 };
+        let big = IdSpace {
+            exponent: 10,
+            factor: 1000,
+        };
         assert!(big.size(1_000_000) >= 1_000_000);
     }
 }

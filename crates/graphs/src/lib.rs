@@ -4,9 +4,9 @@
 //! This crate provides the undirected-graph data structures that every other
 //! crate in the workspace builds on:
 //!
-//! * [`Graph`] — an immutable adjacency-list graph with stable [`NodeId`] /
-//!   [`EdgeId`] indices and deterministic iteration order, built through
-//!   [`GraphBuilder`].
+//! * [`Graph`] — an immutable compressed-sparse-row (CSR) graph with stable
+//!   [`NodeId`] / [`EdgeId`] indices and deterministic iteration order,
+//!   built through [`GraphBuilder`].
 //! * [`generators`] — the graph families used by the paper's evaluation:
 //!   Erdős–Rényi `G(n, p)`, complete bipartite graphs, cycles, cliques,
 //!   paths, stars, disjoint unions and the layered tripartite graphs that

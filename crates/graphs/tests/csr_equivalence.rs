@@ -1,0 +1,183 @@
+//! Property tests: the CSR-backed [`Graph`] must agree with a naive
+//! adjacency-map oracle on random graphs.
+//!
+//! The oracle is a `BTreeMap<NodeId, BTreeSet<NodeId>>` built directly from
+//! the edge list, i.e. the simplest possible correct adjacency structure.
+//! Every query the rest of the workspace performs — neighbour iteration,
+//! edge lookup, degrees, two-hop neighbourhoods — is checked against it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use symbreak_graphs::{generators, Graph, GraphBuilder, NodeId};
+
+/// Naive adjacency-map oracle.
+struct Oracle {
+    n: usize,
+    adj: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl Oracle {
+    fn from_graph(g: &Graph) -> Self {
+        let mut adj: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        for (_, u, v) in g.edges() {
+            adj.entry(u).or_default().insert(v);
+            adj.entry(v).or_default().insert(u);
+        }
+        Oracle {
+            n: g.num_nodes(),
+            adj,
+        }
+    }
+
+    fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        self.adj
+            .get(&v)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj.get(&u).is_some_and(|s| s.contains(&v))
+    }
+
+    fn two_hop(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = BTreeSet::new();
+        for u in self.neighbors(v) {
+            for w in self.neighbors(u) {
+                if w != v && !self.has_edge(v, w) {
+                    out.insert(w);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n as u32).map(NodeId)
+    }
+}
+
+fn check_graph_matches_oracle(g: &Graph, seed: u64) {
+    let oracle = Oracle::from_graph(g);
+    let mut degree_sum = 0;
+    for v in oracle.nodes() {
+        // Neighbour lists agree and are sorted strictly increasing.
+        let ns: Vec<NodeId> = g.neighbors(v).collect();
+        assert_eq!(ns, oracle.neighbors(v), "neighbors({v}) for seed {seed}");
+        assert!(
+            ns.windows(2).all(|w| w[0] < w[1]),
+            "neighbors({v}) not sorted for seed {seed}"
+        );
+        assert_eq!(g.degree(v), ns.len(), "degree({v}) for seed {seed}");
+        degree_sum += ns.len();
+
+        // `incident` carries the same neighbours plus valid edge ids.
+        for (u, e) in g.incident(v) {
+            let (a, b) = g.endpoints(e);
+            assert!(
+                (a, b) == (v.min(u), v.max(u)),
+                "incident({v}) edge {e} endpoints for seed {seed}"
+            );
+            assert_eq!(g.other_endpoint(e, v), u);
+        }
+
+        // Edge queries match the oracle and are symmetric.
+        for u in oracle.nodes() {
+            let expected = oracle.has_edge(v, u);
+            assert_eq!(
+                g.has_edge(v, u),
+                expected,
+                "has_edge({v},{u}) for seed {seed}"
+            );
+            assert_eq!(
+                g.edge_between(v, u).is_some(),
+                expected,
+                "edge_between({v},{u}) for seed {seed}"
+            );
+            assert_eq!(
+                g.edge_between(v, u),
+                g.edge_between(u, v),
+                "edge_between asymmetric for {v},{u}, seed {seed}"
+            );
+        }
+
+        // Two-hop neighbourhoods agree with the naive definition.
+        assert_eq!(
+            g.two_hop_neighbors(v),
+            oracle.two_hop(v),
+            "two_hop_neighbors({v}) for seed {seed}"
+        );
+    }
+    assert_eq!(degree_sum, g.degree_sum(), "degree sum for seed {seed}");
+    assert_eq!(
+        degree_sum,
+        2 * g.num_edges(),
+        "handshake lemma for seed {seed}"
+    );
+    assert_eq!(
+        g.max_degree(),
+        oracle
+            .nodes()
+            .map(|v| oracle.neighbors(v).len())
+            .max()
+            .unwrap_or(0),
+        "max degree for seed {seed}"
+    );
+}
+
+#[test]
+fn random_gnp_graphs_match_oracle() {
+    for case in 0..24u64 {
+        let seed = 0xc5a0 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..60);
+        let p = rng.gen_range(0.0f64..1.0);
+        let g = generators::gnp(n, p, &mut rng);
+        check_graph_matches_oracle(&g, seed);
+    }
+}
+
+#[test]
+fn structured_families_match_oracle() {
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("empty", Graph::empty(7)),
+        ("singleton", Graph::empty(1)),
+        ("null", Graph::empty(0)),
+        ("path", generators::path(9)),
+        ("cycle", generators::cycle(8)),
+        ("clique", generators::clique(7)),
+        ("star", generators::star(8)),
+        ("bipartite", generators::complete_bipartite(3, 5)),
+        ("tripartite", generators::layered_tripartite(4)),
+        ("cycles", generators::disjoint_cycles(3, 4)),
+    ];
+    for (name, g) in graphs {
+        let tag = name.bytes().map(u64::from).sum();
+        check_graph_matches_oracle(&g, tag);
+    }
+}
+
+#[test]
+fn insertion_order_does_not_change_structure() {
+    // The same edge set added in two different orders yields graphs that
+    // agree on every adjacency query (edge *ids* may differ).
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    let g = generators::gnp(20, 0.3, &mut rng);
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().map(|(_, u, v)| (u, v)).collect();
+    edges.reverse();
+    let mut b = GraphBuilder::new(20);
+    for &(u, v) in &edges {
+        b.add_edge(v, u);
+    }
+    let h = b.build();
+    assert_eq!(g.num_edges(), h.num_edges());
+    for v in g.nodes() {
+        assert_eq!(
+            g.neighbors(v).collect::<Vec<_>>(),
+            h.neighbors(v).collect::<Vec<_>>()
+        );
+    }
+    check_graph_matches_oracle(&h, 0xbeef);
+}

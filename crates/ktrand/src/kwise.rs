@@ -33,7 +33,10 @@ impl KWiseFamily {
     pub fn new(independence: usize, range: u64) -> Self {
         assert!(independence >= 1, "independence must be at least 1");
         assert!(range >= 1, "range must be at least 1");
-        KWiseFamily { independence, range }
+        KWiseFamily {
+            independence,
+            range,
+        }
     }
 
     /// The independence parameter `k`.

@@ -12,7 +12,10 @@
 ///
 /// Returns the probability bound (clamped to 1).
 pub fn kwise_deviation_bound(c: u32, t: f64, lambda: f64) -> f64 {
-    assert!(c >= 4 && c % 2 == 0, "Lemma A.1 requires even c ≥ 4");
+    assert!(
+        c >= 4 && c.is_multiple_of(2),
+        "Lemma A.1 requires even c ≥ 4"
+    );
     assert!(t >= 0.0 && lambda > 0.0);
     let base = (f64::from(c) * t) / (lambda * lambda);
     (2.0 * base.powf(f64::from(c) / 2.0)).min(1.0)

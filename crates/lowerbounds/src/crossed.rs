@@ -73,7 +73,11 @@ impl CrossedFamily {
 
     /// The node of a given part and index.
     pub fn node(&self, part: CrossedPart, index: usize) -> NodeId {
-        assert!(index < self.t, "index {index} out of range for t = {}", self.t);
+        assert!(
+            index < self.t,
+            "index {index} out of range for t = {}",
+            self.t
+        );
         let base = match part {
             CrossedPart::X => 0,
             CrossedPart::Y => self.t,
@@ -233,9 +237,8 @@ impl CrossedFamily {
     /// Enumerates all `t³` crossings.
     pub fn crossings(&self) -> impl Iterator<Item = Crossing> + '_ {
         let t = self.t;
-        (0..t).flat_map(move |x| {
-            (0..t).flat_map(move |y| (0..t).map(move |z| Crossing { x, y, z }))
-        })
+        (0..t)
+            .flat_map(move |x| (0..t).flat_map(move |y| (0..t).map(move |z| Crossing { x, y, z })))
     }
 }
 

@@ -54,8 +54,9 @@ impl CycleFamily {
         let range = 2 * self.len as u64;
         let mut ids = Vec::with_capacity(self.num_nodes());
         for cycle in 0..self.count {
-            let mut pool: Vec<u64> =
-                (0..self.len as u64).map(|j| cycle as u64 * range + 2 * j).collect();
+            let mut pool: Vec<u64> = (0..self.len as u64)
+                .map(|j| cycle as u64 * range + 2 * j)
+                .collect();
             for i in (1..pool.len()).rev() {
                 let j = rng.gen_range(0..=i);
                 pool.swap(i, j);

@@ -63,7 +63,12 @@ impl CrossedStats {
     }
 }
 
-fn run_problem(problem: Problem, graph: &Graph, ids: &symbreak_graphs::IdAssignment, seed: u64) -> ExecutionReport {
+fn run_problem(
+    problem: Problem,
+    graph: &Graph,
+    ids: &symbreak_graphs::IdAssignment,
+    seed: u64,
+) -> ExecutionReport {
     let config = SyncConfig {
         track_utilization: true,
         ..SyncConfig::default()

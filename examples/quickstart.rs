@@ -25,7 +25,10 @@ fn main() {
     let outcome = alg1_coloring::run(&graph, &ids, Alg1Config::default(), &mut rng)
         .expect("Algorithm 1 should succeed on a connected graph");
     assert!(verify::is_proper_coloring(&graph, &outcome.colors));
-    println!("\nAlgorithm 1 cost breakdown (simulated vs charged):\n{}", outcome.costs);
+    println!(
+        "\nAlgorithm 1 cost breakdown (simulated vs charged):\n{}",
+        outcome.costs
+    );
 
     // Compare against the Θ(m)-message baseline and against Algorithm 3 /
     // Luby for MIS.

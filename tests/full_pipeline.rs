@@ -54,7 +54,10 @@ fn algorithm2_message_cost_grows_with_one_over_epsilon() {
         )
         .unwrap();
         assert!(coloring::verify::is_proper_coloring(&g, &out.colors));
-        assert!(coloring::verify::uses_colors_below(&out.colors, out.palette_size));
+        assert!(coloring::verify::uses_colors_below(
+            &out.colors,
+            out.palette_size
+        ));
         out.costs.total_messages()
     };
     let loose = run_with(1.0);
@@ -119,6 +122,9 @@ fn asynchronous_algorithm1_is_correct_and_costs_more() {
     let sync = alg1_coloring::run(&g, &ids, Alg1Config::default(), &mut rng).unwrap();
     let mut rng = StdRng::seed_from_u64(22);
     let asynchronous = alg1_coloring::run_async(&g, &ids, Alg1Config::default(), &mut rng).unwrap();
-    assert!(coloring::verify::is_proper_coloring(&g, &asynchronous.colors));
+    assert!(coloring::verify::is_proper_coloring(
+        &g,
+        &asynchronous.colors
+    ));
     assert!(asynchronous.costs.total_messages() >= sync.costs.simulated_messages());
 }

@@ -1,127 +1,230 @@
-//! Property-based tests (proptest) over random graphs, ID assignments and
-//! parameters: validity invariants that must hold on *every* input, not just
-//! the benchmark instances.
+//! Property-based tests over random graphs, ID assignments and parameters:
+//! validity invariants that must hold on *every* input, not just the
+//! benchmark instances.
+//!
+//! The offline build environment has no `proptest`, so cases are generated
+//! by a deterministic seed loop: every test derives its inputs from a fixed
+//! per-case seed, which keeps failures reproducible (the failing seed is in
+//! the assertion message) while still sweeping a spread of sizes, densities
+//! and ID assignments.
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use symbreak::classic::{coloring, mis};
 use symbreak::congest::SyncConfig;
 use symbreak::core::{alg1_coloring, alg2_coloring, alg3_mis, Alg1Config, Alg2Config, Alg3Config};
 use symbreak::danner::Danner;
-use symbreak::graphs::{generators, properties, Graph, IdAssignment, IdSpace};
+use symbreak::graphs::{generators, properties, Graph, IdAssignment, IdSpace, NodeId};
 use symbreak::ktrand::{KWiseFamily, SharedRandomness};
 use symbreak::lowerbounds::crossed::{CrossedFamily, Crossing};
 
-fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = (Graph, u64)> {
-    (4usize..max_n, 0.05f64..0.9, any::<u64>()).prop_map(|(n, p, seed)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (generators::connected_gnp(n, p, &mut rng), seed)
-    })
+const CASES: u64 = 12;
+
+/// Derives a well-mixed seed for case `i` of the test labelled `salt`.
+fn case_seed(salt: u64, i: u64) -> u64 {
+    let mut z = salt ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Random connected graph with `4 <= n < max_n` and density in `[0.05, 0.9)`.
+fn arb_connected_graph(max_n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4..max_n);
+    let p = rng.gen_range(0.05f64..0.9);
+    generators::connected_gnp(n, p, &mut rng)
+}
 
-    #[test]
-    fn alg1_always_produces_a_proper_coloring((graph, seed) in arb_connected_graph(40)) {
+#[test]
+fn alg1_always_produces_a_proper_coloring() {
+    for i in 0..CASES {
+        let seed = case_seed(0xa5a5, i);
+        let graph = arb_connected_graph(40, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xa5a5);
         let ids = IdAssignment::random(&graph, IdSpace::CUBIC, &mut rng);
         let out = alg1_coloring::run(&graph, &ids, Alg1Config::default(), &mut rng).unwrap();
-        prop_assert!(coloring::verify::is_proper_coloring(&graph, &out.colors));
-        prop_assert!(coloring::verify::uses_colors_below(
-            &out.colors,
-            graph.max_degree() as u64 + 1
-        ));
+        assert!(
+            coloring::verify::is_proper_coloring(&graph, &out.colors),
+            "improper coloring for seed {seed}"
+        );
+        assert!(
+            coloring::verify::uses_colors_below(&out.colors, graph.max_degree() as u64 + 1),
+            "palette overflow for seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn alg2_respects_its_palette((graph, seed) in arb_connected_graph(40), eps in 0.1f64..2.0) {
+#[test]
+fn alg2_respects_its_palette() {
+    for i in 0..CASES {
+        let seed = case_seed(0x1111, i);
+        let graph = arb_connected_graph(40, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x1111);
+        let eps = rng.gen_range(0.1f64..2.0);
         let ids = IdAssignment::random(&graph, IdSpace::CUBIC, &mut rng);
-        let config = Alg2Config { epsilon: eps, ..Alg2Config::default() };
+        let config = Alg2Config {
+            epsilon: eps,
+            ..Alg2Config::default()
+        };
         let out = alg2_coloring::run(&graph, &ids, config, &mut rng).unwrap();
-        prop_assert!(coloring::verify::is_proper_coloring(&graph, &out.colors));
-        prop_assert!(coloring::verify::uses_colors_below(&out.colors, out.palette_size));
+        assert!(
+            coloring::verify::is_proper_coloring(&graph, &out.colors),
+            "improper coloring for seed {seed} (eps {eps})"
+        );
+        assert!(
+            coloring::verify::uses_colors_below(&out.colors, out.palette_size),
+            "palette overflow for seed {seed} (eps {eps})"
+        );
     }
+}
 
-    #[test]
-    fn alg3_always_produces_an_mis(n in 2usize..50, p in 0.0f64..1.0, seed in any::<u64>()) {
+#[test]
+fn alg3_always_produces_an_mis() {
+    for i in 0..CASES {
+        let seed = case_seed(0x3333, i);
         let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2usize..50);
+        let p = rng.gen_range(0.0f64..1.0);
         let graph = generators::gnp(n, p, &mut rng);
         let ids = IdAssignment::random(&graph, IdSpace::CUBIC, &mut rng);
         let out = alg3_mis::run(&graph, &ids, Alg3Config::default(), &mut rng).unwrap();
-        prop_assert!(mis::verify::is_mis(&graph, &out.in_mis));
+        assert!(
+            mis::verify::is_mis(&graph, &out.in_mis),
+            "invalid MIS for seed {seed} (n {n}, p {p})"
+        );
     }
+}
 
-    #[test]
-    fn luby_and_parallel_greedy_are_valid_on_arbitrary_graphs(
-        n in 1usize..40, p in 0.0f64..1.0, seed in any::<u64>()
-    ) {
+#[test]
+fn luby_and_parallel_greedy_are_valid_on_arbitrary_graphs() {
+    for i in 0..CASES {
+        let seed = case_seed(0x4444, i);
         let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..40);
+        let p = rng.gen_range(0.0f64..1.0);
         let graph = generators::gnp(n, p, &mut rng);
         let ids = IdAssignment::identity(n);
         let (luby, _) = mis::luby::run(&graph, &ids, seed, SyncConfig::default());
-        prop_assert!(mis::verify::is_mis(&graph, &luby));
+        assert!(
+            mis::verify::is_mis(&graph, &luby),
+            "luby failed for seed {seed}"
+        );
         let ranks: Vec<u64> = (0..n as u64).map(|i| i * 2654435761 % 10007).collect();
-        let (pg, _) = mis::parallel_greedy::run_on_whole_graph(
-            &graph, &ids, &ranks, SyncConfig::default());
-        prop_assert!(mis::verify::is_mis(&graph, &pg));
-        prop_assert_eq!(pg, mis::greedy::greedy_mis_by_rank(&graph, &ranks));
+        let (pg, _) =
+            mis::parallel_greedy::run_on_whole_graph(&graph, &ids, &ranks, SyncConfig::default());
+        assert!(
+            mis::verify::is_mis(&graph, &pg),
+            "parallel greedy failed for seed {seed}"
+        );
+        assert_eq!(
+            pg,
+            mis::greedy::greedy_mis_by_rank(&graph, &ranks),
+            "parallel greedy disagrees with sequential greedy for seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn danner_invariants_hold((graph, seed) in arb_connected_graph(50), delta in 0.0f64..1.0) {
+#[test]
+fn danner_invariants_hold() {
+    for i in 0..CASES {
+        let seed = case_seed(0x7777, i);
+        let graph = arb_connected_graph(50, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7777);
+        let delta = rng.gen_range(0.0f64..1.0);
         let ids = IdAssignment::random(&graph, IdSpace::CUBIC, &mut rng);
         let danner = Danner::build(&graph, &ids, delta).unwrap();
-        prop_assert!(properties::is_connected(danner.subgraph()));
-        prop_assert!(danner.num_edges() <= danner.edge_bound());
-        prop_assert!(danner.num_edges() <= graph.num_edges());
+        assert!(
+            properties::is_connected(danner.subgraph()),
+            "danner disconnected for seed {seed}"
+        );
+        assert!(
+            danner.num_edges() <= danner.edge_bound(),
+            "edge bound for seed {seed}"
+        );
+        assert!(
+            danner.num_edges() <= graph.num_edges(),
+            "edge count for seed {seed}"
+        );
         if let (Some(dh), Some(dg)) = (
             properties::diameter(danner.subgraph()),
             properties::diameter(&graph),
         ) {
-            prop_assert!(dh <= 2 * dg.max(1));
+            assert!(
+                dh <= 2 * dg.max(1),
+                "diameter bound for seed {seed}: {dh} > 2*{dg}"
+            );
         }
     }
+}
 
-    #[test]
-    fn kwise_hash_outputs_stay_in_range(k in 1usize..16, range in 1u64..1000, seed in any::<u64>(), x in any::<u64>()) {
+#[test]
+fn kwise_hash_outputs_stay_in_range() {
+    for i in 0..CASES {
+        let seed = case_seed(0x8888, i);
         let mut rng = StdRng::seed_from_u64(seed);
+        let k = rng.gen_range(1usize..16);
+        let range = rng.gen_range(1u64..1000);
+        let x = rng.gen::<u64>();
         let h = KWiseFamily::new(k, range).sample(&mut rng);
-        prop_assert!(h.eval(x) < range);
+        assert!(
+            h.eval(x) < range,
+            "out of range for seed {seed} (k {k}, range {range})"
+        );
     }
+}
 
-    #[test]
-    fn shared_randomness_clones_agree(seed in any::<u64>(), label in "[a-z]{1,8}", x in any::<u64>()) {
+#[test]
+fn shared_randomness_clones_agree() {
+    const LABELS: [&str; 4] = ["a", "bz", "qrs", "wxyzabcd"];
+    for i in 0..CASES {
+        let seed = case_seed(0x9999, i);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let label = LABELS[rng.gen_range(0usize..LABELS.len())];
+        let x = rng.gen::<u64>();
         let a = SharedRandomness::from_seed(seed, 1024);
         let b = a.clone();
-        let ha = a.hash_fn(&label, 4, 97);
-        let hb = b.hash_fn(&label, 4, 97);
-        prop_assert_eq!(ha.eval(x), hb.eval(x));
+        let ha = a.hash_fn(label, 4, 97);
+        let hb = b.hash_fn(label, 4, 97);
+        assert_eq!(ha.eval(x), hb.eval(x), "clones disagree for seed {seed}");
     }
+}
 
-    #[test]
-    fn crossed_family_preserves_degrees_for_every_crossing(t in 2usize..7, x in 0usize..6, y in 0usize..6, z in 0usize..6) {
+#[test]
+fn crossed_family_preserves_degrees_for_every_crossing() {
+    for i in 0..CASES {
+        let seed = case_seed(0xcccc, i);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rng.gen_range(2usize..7);
+        let crossing = Crossing {
+            x: rng.gen_range(0usize..6) % t,
+            y: rng.gen_range(0usize..6) % t,
+            z: rng.gen_range(0usize..6) % t,
+        };
         let family = CrossedFamily::new(t);
-        let crossing = Crossing { x: x % t, y: y % t, z: z % t };
         let base = family.base_graph();
         let crossed = family.crossed_graph(crossing);
-        prop_assert_eq!(base.num_edges(), crossed.num_edges());
+        assert_eq!(
+            base.num_edges(),
+            crossed.num_edges(),
+            "edge count for seed {seed}"
+        );
         for v in base.nodes() {
-            prop_assert_eq!(base.degree(v), crossed.degree(v));
+            assert_eq!(
+                base.degree(v),
+                crossed.degree(v),
+                "degree of {v} for seed {seed}"
+            );
         }
         // The ψ assignment keeps the primed copy order-isomorphic to the
         // unprimed copy (observation (iii) of Section 2.2).
         let psi = family.psi(crossing);
         for a in 0..3 * t {
             for b in 0..3 * t {
-                let unprimed = psi.id_of(symbreak::graphs::NodeId(a as u32))
-                    < psi.id_of(symbreak::graphs::NodeId(b as u32));
-                let primed = psi.id_of(symbreak::graphs::NodeId((a + 3 * t) as u32))
-                    < psi.id_of(symbreak::graphs::NodeId((b + 3 * t) as u32));
-                prop_assert_eq!(unprimed, primed);
+                let unprimed = psi.id_of(NodeId(a as u32)) < psi.id_of(NodeId(b as u32));
+                let primed =
+                    psi.id_of(NodeId((a + 3 * t) as u32)) < psi.id_of(NodeId((b + 3 * t) as u32));
+                assert_eq!(unprimed, primed, "order isomorphism for seed {seed}");
             }
         }
     }

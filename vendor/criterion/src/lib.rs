@@ -1,0 +1,250 @@
+//! Offline vendored stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the API subset the workspace's benches use (`Criterion::default()`,
+//! builder knobs, `bench_function`, `Bencher::iter`, the `criterion_group!`
+//! and `criterion_main!` macros and `black_box`) backed by a simple
+//! wall-clock sampling loop: per sample the routine runs in a batch sized to
+//! fill `measurement_time / sample_size`, and the mean, min and max
+//! nanoseconds per iteration are printed.
+//!
+//! Results are also appended to the `CRITERION_JSON` file (one JSON object
+//! per line) when that environment variable is set, which is how the
+//! workspace's `BENCH_*.json` artifacts are produced.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sampled {
+    /// Mean ns/iter over all samples.
+    pub mean_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Total iterations executed while measuring.
+    pub iterations: u64,
+}
+
+/// The benchmark driver. A compatible subset of `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget of the measurement phase.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the wall-clock budget of the warm-up phase.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self.clone(),
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(s) => {
+                println!(
+                    "{id:<40} time: [{} {} {}]  ({} iters)",
+                    fmt_ns(s.min_ns),
+                    fmt_ns(s.mean_ns),
+                    fmt_ns(s.max_ns),
+                    s.iterations
+                );
+                if let Ok(path) = std::env::var("CRITERION_JSON") {
+                    append_json(&path, id, s);
+                }
+            }
+            None => println!("{id:<40} (no measurement — Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn append_json(path: &str, id: &str, s: Sampled) {
+    use std::io::Write;
+    let line = format!(
+        "{{\"bench\":\"{}\",\"mean_ns\":{:.2},\"min_ns\":{:.2},\"max_ns\":{:.2},\"iterations\":{}}}\n",
+        id.replace('"', "'"),
+        s.mean_ns,
+        s.min_ns,
+        s.max_ns,
+        s.iterations
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+/// Per-benchmark measurement handle. A compatible subset of
+/// `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    config: Criterion,
+    result: Option<Sampled>,
+}
+
+impl Bencher {
+    /// Measures `routine` and records the statistics.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up budget is spent, measuring the
+        // rough per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        // Measurement: `sample_size` samples, each a batch sized so all
+        // samples together roughly fill the measurement budget.
+        let samples = self.config.sample_size;
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let batch = ((budget_ns / samples as f64 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let mut total_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns: f64 = 0.0;
+        let mut iterations = 0u64;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            iterations += batch;
+        }
+        self.result = Some(Sampled {
+            mean_ns: total_ns / samples as f64,
+            min_ns,
+            max_ns,
+            iterations,
+        });
+    }
+}
+
+/// Declares a group of benchmark targets. Compatible with both the simple
+/// and the `name = ...; config = ...; targets = ...` forms of
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary entry point. Compatible with
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn macros_expand() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("t", |b| b.iter(|| 0));
+        }
+        criterion_group! {
+            name = group;
+            config = Criterion::default()
+                .sample_size(2)
+                .measurement_time(Duration::from_millis(5))
+                .warm_up_time(Duration::from_millis(1));
+            targets = target
+        }
+        group();
+    }
+}

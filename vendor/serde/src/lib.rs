@@ -1,0 +1,11 @@
+//! Offline vendored stand-in for [`serde`](https://docs.rs/serde).
+//!
+//! The build environment has no access to crates.io. The workspace uses
+//! serde only as `#[derive(Serialize, Deserialize)]` annotations; this crate
+//! re-exports no-op derive macros so those annotations compile without
+//! generating any code. Swap the workspace `Cargo.toml` entry for the real
+//! crate to turn serialization on — no source changes needed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations — no
+//! code path serializes anything yet — so these derives expand to nothing.
+//! Swapping in the real `serde`/`serde_derive` later requires no source
+//! changes outside the workspace `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
