@@ -11,6 +11,13 @@
 //! randomized-delay executor that runs [`NodeAlgorithm`] automata under
 //! adversarial-ish message delays, so that delay-insensitive algorithms can
 //! be checked to still produce correct outputs.
+//!
+//! The executor's delay wheel is *slot-indexed*: each of the
+//! `max_delay + 1` wheel slots keeps the list of nodes with messages
+//! arriving at that time, so a time unit costs `O(activated + delivered)` —
+//! mirroring the synchronous engine's active list — instead of the old
+//! full `O(n)` node scan (still available as
+//! [`crate::reference::NaiveAsyncSimulator`], the differential oracle).
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -117,12 +124,31 @@ impl<'g> AsyncSimulator<'g> {
         AsyncSimulator { graph, ids, level }
     }
 
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The ID assignment.
+    pub fn ids(&self) -> &'g IdAssignment {
+        self.ids
+    }
+
+    /// The KT level.
+    pub fn level(&self) -> KtLevel {
+        self.level
+    }
+
     /// Runs the node algorithms under random message delays drawn from `rng`.
     ///
     /// Node activation (context construction, automaton stepping, CONGEST
     /// validation) goes through the same [`NodeRuntime`] engine as the
     /// synchronous simulator; only the delay-wheel delivery policy lives
-    /// here.
+    /// here. The wheel tracks, per slot, exactly the nodes with messages
+    /// arriving at that time (in ascending node order, so reports are
+    /// bit-identical to the full-scan reference loop), and terminal states
+    /// are detected from an incrementally maintained undone counter instead
+    /// of an `O(n)` sweep per time unit.
     pub fn run<A, F, R>(&self, config: AsyncConfig, rng: &mut R, make: F) -> AsyncReport
     where
         A: NodeAlgorithm,
@@ -132,9 +158,12 @@ impl<'g> AsyncSimulator<'g> {
         let n = self.graph.num_nodes();
         let mut runtime = NodeRuntime::new(self.graph, self.ids, self.level, make);
 
-        // pending[t % window][v] = messages arriving at node v at time t.
+        // pending[t % window][v] = messages arriving at node v at time t;
+        // slot_nodes[t % window] = the v with pending[t % window][v]
+        // non-empty (each listed once, unsorted until the slot fires).
         let window = (config.max_delay + 1) as usize;
         let mut pending: Vec<Vec<Vec<Message>>> = vec![vec![Vec::new(); n]; window];
+        let mut slot_nodes: Vec<Vec<u32>> = vec![Vec::new(); window];
         let mut in_flight: u64 = 0;
         let mut messages: u64 = 0;
         let mut max_bits: u32 = 0;
@@ -143,10 +172,21 @@ impl<'g> AsyncSimulator<'g> {
         // Activation counter per node: how many times each node has been
         // activated (used as its local "round" number).
         let mut activations: Vec<u64> = vec![0; n];
+        let mut done = runtime.done_flags();
+        let mut undone_count = done.iter().filter(|&&d| !d).count();
+        let mut outgoing: Vec<(NodeId, Message)> = Vec::new();
 
         loop {
-            if time > 0 && in_flight == 0 && runtime.all_done() {
-                completed = true;
+            if time > 0 && in_flight == 0 {
+                if undone_count == 0 {
+                    completed = true;
+                    break;
+                }
+                // Nothing in flight and no node can activate spontaneously:
+                // the execution is stuck forever. The full-scan reference
+                // idle-ticks its way to the limit; jump straight there for
+                // an identical report.
+                time = config.max_time;
                 break;
             }
             if time >= config.max_time {
@@ -154,28 +194,58 @@ impl<'g> AsyncSimulator<'g> {
             }
 
             let slot = (time % window as u64) as usize;
-            let mut outgoing: Vec<(NodeId, Message)> = Vec::new();
-            for i in 0..n {
-                let inbox = std::mem::take(&mut pending[slot][i]);
-                let activate = time == 0 || !inbox.is_empty();
-                if !activate {
-                    continue;
+            let mut acts = std::mem::take(&mut slot_nodes[slot]);
+            // Ascending node order matches the reference loop's 0..n scan.
+            acts.sort_unstable();
+            let mut activate =
+                |i: usize,
+                 runtime: &mut NodeRuntime<'g, A>,
+                 pending: &mut Vec<Vec<Vec<Message>>>,
+                 outgoing: &mut Vec<(NodeId, Message)>| {
+                    let mut inbox = std::mem::take(&mut pending[slot][i]);
+                    in_flight -= inbox.len() as u64;
+                    let now_done = runtime.step(
+                        i,
+                        activations[i],
+                        &inbox,
+                        config.message_bit_limit,
+                        &mut max_bits,
+                        &mut |_from, to, msg| outgoing.push((to, msg)),
+                    );
+                    activations[i] += 1;
+                    if now_done != done[i] {
+                        done[i] = now_done;
+                        if now_done {
+                            undone_count -= 1;
+                        } else {
+                            undone_count += 1;
+                        }
+                    }
+                    // Hand the drained allocation back to the wheel slot.
+                    inbox.clear();
+                    pending[slot][i] = inbox;
+                };
+            if time == 0 {
+                // Time 0 activates every node for initialisation.
+                for i in 0..n {
+                    activate(i, &mut runtime, &mut pending, &mut outgoing);
                 }
-                in_flight -= inbox.len() as u64;
-                runtime.step(
-                    i,
-                    activations[i],
-                    &inbox,
-                    config.message_bit_limit,
-                    &mut max_bits,
-                    &mut |_from, to, msg| outgoing.push((to, msg)),
-                );
-                activations[i] += 1;
+            } else {
+                for &iu in &acts {
+                    activate(iu as usize, &mut runtime, &mut pending, &mut outgoing);
+                }
             }
-            for (to, msg) in outgoing {
+            acts.clear();
+            slot_nodes[slot] = acts;
+
+            for (to, msg) in outgoing.drain(..) {
                 let delay = rng.gen_range(1..=config.max_delay);
                 let arrival = ((time + delay) % window as u64) as usize;
-                pending[arrival][to.index()].push(msg);
+                let bucket = &mut pending[arrival][to.index()];
+                if bucket.is_empty() {
+                    slot_nodes[arrival].push(to.0);
+                }
+                bucket.push(msg);
                 messages += 1;
                 in_flight += 1;
             }
@@ -272,5 +342,31 @@ mod tests {
         let report = sim.run(config, &mut rng, |_| Chatter);
         assert!(!report.completed);
         assert_eq!(report.time, 20);
+    }
+
+    #[test]
+    fn stuck_undone_nodes_report_the_time_limit() {
+        // A node that never terminates and never sends: the wheel drains
+        // immediately, and the run must still report `time = max_time`
+        // exactly like the idle-ticking full-scan loop.
+        struct Mute;
+        impl NodeAlgorithm for Mute {
+            fn on_round(&mut self, _ctx: &mut RoundContext<'_>, _inbox: &[Message]) {}
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::path(3);
+        let ids = IdAssignment::identity(3);
+        let sim = AsyncSimulator::new(&g, &ids, KtLevel::KT1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = AsyncConfig {
+            max_time: 500,
+            ..AsyncConfig::default()
+        };
+        let report = sim.run(config, &mut rng, |_| Mute);
+        assert!(!report.completed);
+        assert_eq!(report.time, 500);
+        assert_eq!(report.messages, 0);
     }
 }

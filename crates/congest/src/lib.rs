@@ -74,4 +74,4 @@ pub use message::{Message, MAX_ID_FIELDS, MAX_VALUE_FIELDS};
 pub use metrics::{CostAccount, PhaseCost};
 pub use model::KtLevel;
 pub use node::{NodeAlgorithm, NodeInit, RoundContext};
-pub use sync::{ExecutionReport, SyncConfig, SyncSimulator};
+pub use sync::{ExecutionReport, SyncConfig, SyncSimulator, THREADS_ENV};

@@ -1,5 +1,4 @@
-//! A naive synchronous simulator kept as a correctness oracle and
-//! throughput baseline.
+//! Naive simulators kept as correctness oracles and throughput baselines.
 //!
 //! [`NaiveSyncSimulator`] reproduces the pre-engine implementation of
 //! [`crate::SyncSimulator::run`] faithfully: per-node `Vec<Vec<Message>>`
@@ -7,12 +6,20 @@
 //! snapshot, a per-message `edge_between` lookup and `Option`-checked
 //! instrumentation inside the inner loop.
 //!
-//! It must produce **bit-identical** [`ExecutionReport`]s to the arena-based
-//! engine (the differential tests in `tests/engine_equivalence.rs` assert
-//! this), and it is what the `sim_engine` bench measures the engine against.
+//! [`NaiveAsyncSimulator`] likewise preserves the pre-slot-index delay
+//! wheel of [`crate::async_sim::AsyncSimulator`]: every time unit scans all
+//! `n` nodes for pending deliveries and re-checks termination with a full
+//! `is_done` sweep.
+//!
+//! Both must produce **bit-identical** reports to their engine counterparts
+//! (the differential tests in `tests/engine_equivalence.rs` and
+//! `tests/async_equivalence.rs` assert this), and they are what the
+//! `sim_engine` bench measures the engine against.
 
+use rand::Rng;
 use symbreak_graphs::NodeId;
 
+use crate::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
 use crate::sync::mark_utilized;
 use crate::trace::{Trace, TraceMessage};
 use crate::{
@@ -141,6 +148,120 @@ impl<'g> NaiveSyncSimulator<'g> {
             per_edge_messages: per_edge,
             utilized_edges: utilized,
             trace,
+        }
+    }
+}
+
+/// The historical full-scan delay wheel, wrapped around the same
+/// asynchronous simulator handle.
+///
+/// Every time unit visits all `n` nodes (delivering whatever the current
+/// wheel slot holds for each) and re-checks termination with a full
+/// `is_done` sweep — the `O(n)`-per-tick behaviour the slot-indexed wheel
+/// replaced. Kept as the differential oracle for
+/// `tests/async_equivalence.rs`: under the same seed it must produce
+/// bit-identical [`AsyncReport`]s, including the order in which random
+/// delays are drawn.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveAsyncSimulator<'g> {
+    sim: AsyncSimulator<'g>,
+}
+
+impl<'g> NaiveAsyncSimulator<'g> {
+    /// Wraps a simulator handle.
+    pub fn new(sim: AsyncSimulator<'g>) -> Self {
+        NaiveAsyncSimulator { sim }
+    }
+
+    /// Runs exactly like [`AsyncSimulator::run`], using the historical
+    /// full-scan implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`AsyncSimulator::run`].
+    pub fn run<A, F, R>(&self, config: AsyncConfig, rng: &mut R, mut make: F) -> AsyncReport
+    where
+        A: NodeAlgorithm,
+        F: FnMut(NodeInit<'_>) -> A,
+        R: Rng + ?Sized,
+    {
+        let graph = self.sim.graph();
+        let ids = self.sim.ids();
+        let level = self.sim.level();
+        let n = graph.num_nodes();
+        let neighbor_lists: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| graph.neighbor_vec(NodeId(i as u32)))
+            .collect();
+        let mut nodes: Vec<A> = (0..n)
+            .map(|i| {
+                let v = NodeId(i as u32);
+                make(NodeInit {
+                    node: v,
+                    num_nodes: n,
+                    knowledge: KnowledgeView::new(graph, ids, level, v),
+                })
+            })
+            .collect();
+
+        let window = (config.max_delay + 1) as usize;
+        let mut pending: Vec<Vec<Vec<Message>>> = vec![vec![Vec::new(); n]; window];
+        let mut in_flight: u64 = 0;
+        let mut messages: u64 = 0;
+        let mut max_bits: u32 = 0;
+        let mut time: u64 = 0;
+        let mut completed = false;
+        let mut activations: Vec<u64> = vec![0; n];
+
+        loop {
+            if time > 0 && in_flight == 0 && nodes.iter().all(NodeAlgorithm::is_done) {
+                completed = true;
+                break;
+            }
+            if time >= config.max_time {
+                break;
+            }
+
+            let slot = (time % window as u64) as usize;
+            let mut outgoing: Vec<(NodeId, Message)> = Vec::new();
+            for i in 0..n {
+                let inbox = std::mem::take(&mut pending[slot][i]);
+                let activate = time == 0 || !inbox.is_empty();
+                if !activate {
+                    continue;
+                }
+                in_flight -= inbox.len() as u64;
+                let v = NodeId(i as u32);
+                let knowledge = KnowledgeView::new(graph, ids, level, v);
+                let mut ctx = RoundContext::new(v, activations[i], knowledge, &neighbor_lists[i]);
+                nodes[i].on_round(&mut ctx, &inbox);
+                for (to, msg) in ctx.take_outbox() {
+                    let bits = msg.size_bits();
+                    assert!(
+                        bits <= config.message_bit_limit,
+                        "node {v} sent a {bits}-bit message, exceeding the CONGEST budget of {} bits",
+                        config.message_bit_limit
+                    );
+                    max_bits = max_bits.max(bits);
+                    outgoing.push((to, msg));
+                }
+                activations[i] += 1;
+            }
+            for (to, msg) in outgoing {
+                let delay = rng.gen_range(1..=config.max_delay);
+                let arrival = ((time + delay) % window as u64) as usize;
+                pending[arrival][to.index()].push(msg);
+                messages += 1;
+                in_flight += 1;
+            }
+            time += 1;
+        }
+
+        AsyncReport {
+            completed,
+            time,
+            messages,
+            max_message_bits: max_bits,
+            outputs: nodes.iter().map(NodeAlgorithm::output).collect(),
         }
     }
 }

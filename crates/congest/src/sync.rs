@@ -7,14 +7,43 @@
 //! the [`RoundObserver`] trait so the uninstrumented path pays nothing for
 //! it. A bit-identical naive implementation is kept in [`crate::reference`]
 //! for differential tests and throughput baselines.
+//!
+//! Two round loops share those primitives:
+//!
+//! * the **sequential loop** — used whenever instrumentation is active or
+//!   the resolved thread count is 1. It additionally switches the delivery
+//!   buffer into its receiver-major dense layout on rounds the engine
+//!   predicts to be all-to-all ([`NodeRuntime::dense_round`]).
+//! * the **parallel loop** — splits each round's active list into
+//!   contiguous, degree-balanced shards, steps every shard on its own thread
+//!   into a thread-local staging buffer, and merges the buffers with one
+//!   deterministic counting sort ([`DeliveryBuffer::flip_shards`]).
+//!
+//! Both produce **bit-identical** [`ExecutionReport`]s: shards are
+//! contiguous slices of the ascending active list, so concatenating their
+//! staging buffers in shard order reproduces the sequential staging order
+//! exactly, for any thread count.
 
 use serde::{Deserialize, Serialize};
 use symbreak_graphs::{EdgeId, Graph, IdAssignment, NodeId};
 
-use crate::engine::{DeliveryBuffer, MessageArena, NodeRuntime, NoopObserver, RoundObserver};
+use crate::engine::{
+    split_ranges_mut, DeliveryBuffer, MessageArena, NodeRuntime, NoopObserver, RoundObserver,
+    ShardView,
+};
 use crate::model::DEFAULT_MESSAGE_BITS;
 use crate::trace::{Trace, TraceMessage};
 use crate::{KnowledgeView, KtLevel, Message, NodeAlgorithm, NodeInit, SimError};
+
+/// Environment variable overriding the automatic thread count of
+/// [`SyncConfig::threads`]` = 0` (used by CI to exercise both the sequential
+/// and the parallel loop with one test suite).
+pub const THREADS_ENV: &str = "CONGEST_THREADS";
+
+/// Rounds with fewer active nodes than this per thread run single-sharded
+/// (inline, no cross-thread dispatch) — fork-join overhead would dwarf the
+/// work. Exceeding it does not force parallelism; it only permits it.
+const MIN_ACTIVE_PER_SHARD: usize = 32;
 
 /// Configuration of a synchronous run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,6 +59,12 @@ pub struct SyncConfig {
     pub track_utilization: bool,
     /// Track per-edge message counts.
     pub track_per_edge: bool,
+    /// Worker threads for round stepping. `0` (the default) resolves to the
+    /// `CONGEST_THREADS` environment variable if set, else to the available
+    /// CPU count. Reports are bit-identical at every thread count;
+    /// instrumented runs (trace/utilization/per-edge or a custom observer)
+    /// always execute sequentially.
+    pub threads: usize,
 }
 
 impl Default for SyncConfig {
@@ -40,6 +75,7 @@ impl Default for SyncConfig {
             record_trace: false,
             track_utilization: false,
             track_per_edge: false,
+            threads: 0,
         }
     }
 }
@@ -60,6 +96,31 @@ impl SyncConfig {
     pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = max_rounds;
         self
+    }
+
+    /// Sets the stepping thread count (`0` = automatic; see
+    /// [`SyncConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective thread count: an explicit setting wins, then the
+    /// `CONGEST_THREADS` environment variable, then the CPU count.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(raw) = std::env::var(THREADS_ENV) {
+            if let Ok(v) = raw.trim().parse::<usize>() {
+                if v > 0 {
+                    return v;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     }
 }
 
@@ -164,8 +225,16 @@ impl<'g> SyncSimulator<'g> {
     /// done and no messages are in flight, or until the round limit.
     ///
     /// When `config` requests no instrumentation, the run uses the
-    /// branch-free fast path ([`NoopObserver`]); otherwise the built-in
-    /// [`Instrumentation`] observer collects whatever the config asked for.
+    /// branch-free fast path ([`NoopObserver`]) — parallel across
+    /// [`SyncConfig::threads`] workers when more than one resolves;
+    /// otherwise the built-in [`Instrumentation`] observer collects whatever
+    /// the config asked for on the sequential loop.
+    ///
+    /// Automata must be [`Send`] so the round loop *may* shard them across
+    /// threads (the bound is required even for runs that resolve to one
+    /// thread — monomorphization cannot depend on the runtime thread
+    /// count). A `!Send` automaton can still be driven through
+    /// [`crate::reference::NaiveSyncSimulator`], which is unbounded.
     ///
     /// # Panics
     ///
@@ -173,7 +242,7 @@ impl<'g> SyncSimulator<'g> {
     /// sends to a non-neighbour — both indicate bugs in the node algorithm.
     pub fn run<A, F>(&self, config: SyncConfig, make: F) -> ExecutionReport
     where
-        A: NodeAlgorithm,
+        A: NodeAlgorithm + Send,
         F: FnMut(NodeInit<'_>) -> A,
     {
         if config.record_trace || config.track_utilization || config.track_per_edge {
@@ -199,8 +268,30 @@ impl<'g> SyncSimulator<'g> {
     ///
     /// The built-in instrumentation fields of the returned
     /// [`ExecutionReport`] (`per_edge_messages`, `utilized_edges`, `trace`)
-    /// are `None` here — the observer owns whatever it recorded.
+    /// are `None` here — the observer owns whatever it recorded. An *active*
+    /// observer pins the run to the sequential loop (message callbacks are
+    /// ordered); the report is bit-identical either way.
     pub fn run_observed<A, F, O>(
+        &self,
+        config: SyncConfig,
+        make: F,
+        observer: &mut O,
+    ) -> ExecutionReport
+    where
+        A: NodeAlgorithm + Send,
+        F: FnMut(NodeInit<'_>) -> A,
+        O: RoundObserver,
+    {
+        let threads = config.resolved_threads();
+        if !O::ACTIVE && threads > 1 {
+            self.run_parallel(config, make, threads)
+        } else {
+            self.run_sequential(config, make, observer)
+        }
+    }
+
+    /// The sequential round loop (also the only loop observers ever see).
+    fn run_sequential<A, F, O>(
         &self,
         config: SyncConfig,
         make: F,
@@ -228,6 +319,7 @@ impl<'g> SyncSimulator<'g> {
         // round 0 activates everyone for initialisation. Per-round cost is
         // O(active + messages), independent of the node count.
         let mut active: Vec<u32> = (0..n as u32).collect();
+        let mut active_all = true;
         let mut undone: Vec<u32> = Vec::new();
         let mut receivers: Vec<u32> = Vec::new();
         let mut done = runtime.done_flags();
@@ -242,9 +334,24 @@ impl<'g> SyncSimulator<'g> {
                 break;
             }
 
+            // Pick the delivery layout for this round's traffic before any
+            // message is staged (see the engine docs: both layouts yield
+            // identical inboxes, so this is purely a throughput knob). When
+            // the active list is known to be every node the density check
+            // collapses to the O(1) locality gate.
+            staging.set_dense(if active_all {
+                runtime.dense_full()
+            } else {
+                runtime.dense_round(&active)
+            });
+
             undone.clear();
-            for &iu in &active {
-                let i = iu as usize;
+            // When every node is being stepped anyway, defer the undone
+            // list: a full all-to-all flip never reads it, and a partial
+            // flip can afford one O(n) reconstruction scan (the round was
+            // already Ω(n)). Sparse rounds keep the incremental push.
+            let defer_undone = active_all;
+            let mut step_one = |i: usize| {
                 let now_done = runtime.step(
                     i,
                     rounds,
@@ -271,17 +378,41 @@ impl<'g> SyncSimulator<'g> {
                         undone_count += 1;
                     }
                 }
-                if !now_done {
-                    // `active` is ascending, so `undone` stays sorted.
-                    undone.push(iu);
+                if !now_done && !defer_undone {
+                    // Activation order is ascending, so `undone` stays
+                    // sorted.
+                    undone.push(i as u32);
+                }
+            };
+            if active_all {
+                // The active list is the identity: iterate it implicitly.
+                for i in 0..n {
+                    step_one(i);
+                }
+            } else {
+                for &iu in &active {
+                    step_one(iu as usize);
                 }
             }
 
             if O::ACTIVE {
                 observer.on_round_end(rounds);
             }
-            staging.flip(&mut arena, &mut receivers);
-            merge_sorted_into(&receivers, &undone, &mut active);
+            active_all = if staging.flip(&mut arena, &mut receivers) {
+                // Full all-to-all delivery: next round activates everyone,
+                // no receiver list or merge required.
+                true
+            } else {
+                if defer_undone && undone_count > 0 {
+                    undone.extend(
+                        done.iter()
+                            .enumerate()
+                            .filter(|&(_, &d)| !d)
+                            .map(|(i, _)| i as u32),
+                    );
+                }
+                next_active(&mut receivers, &undone, &mut active, n)
+            };
             rounds += 1;
         }
 
@@ -295,6 +426,236 @@ impl<'g> SyncSimulator<'g> {
             utilized_edges: None,
             trace: None,
         }
+    }
+
+    /// The multi-core round loop: degree-balanced contiguous shards of the
+    /// active list, thread-local staging, deterministic merge.
+    fn run_parallel<A, F>(&self, config: SyncConfig, make: F, threads: usize) -> ExecutionReport
+    where
+        A: NodeAlgorithm + Send,
+        F: FnMut(NodeInit<'_>) -> A,
+    {
+        let n = self.graph.num_nodes();
+        let mut runtime = NodeRuntime::new(self.graph, self.ids, self.level, make);
+        let mut arena = MessageArena::new(n);
+        let mut staging = DeliveryBuffer::new(n);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("vendored thread pool cannot fail to build");
+
+        let mut messages: u64 = 0;
+        let mut max_bits: u32 = 0;
+        let mut rounds: u64 = 0;
+        let mut completed = false;
+
+        let mut active: Vec<u32> = (0..n as u32).collect();
+        let mut undone: Vec<u32> = Vec::new();
+        let mut receivers: Vec<u32> = Vec::new();
+        let mut done = runtime.done_flags();
+        let mut undone_count = done.iter().filter(|&&d| !d).count();
+
+        // Thread-local round state, reused across rounds: per-shard staging
+        // buffers (merged by `flip_shards`) and per-shard undone lists
+        // (concatenated — shard order preserves ascending node order).
+        let mut shard_staged: Vec<Vec<(u32, Message)>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut shard_undone: Vec<Vec<u32>> = (0..threads).map(|_| Vec::new()).collect();
+
+        loop {
+            if rounds > 0 && arena.len() == 0 && undone_count == 0 {
+                completed = true;
+                break;
+            }
+            if rounds >= config.max_rounds {
+                break;
+            }
+
+            undone.clear();
+            if !active.is_empty() {
+                let bounds = plan_shards(&runtime, &active, threads);
+                let node_bounds: Vec<(usize, usize)> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| (active[lo] as usize, active[hi - 1] as usize + 1))
+                    .collect();
+                let mut shards = runtime.shard_views(&node_bounds);
+                let done_slices = split_ranges_mut(&mut done, &node_bounds);
+                // Per-shard (messages, max_bits, undone_count delta).
+                let mut outcomes: Vec<(u64, u32, i64)> = vec![(0, 0, 0); bounds.len()];
+
+                if bounds.len() == 1 {
+                    // Small round: one shard, stepped inline on the caller
+                    // thread through the exact same path the workers run.
+                    step_shard(
+                        &mut shards[0],
+                        &active,
+                        node_bounds[0].0,
+                        rounds,
+                        &arena,
+                        config.message_bit_limit,
+                        &mut shard_staged[0],
+                        &mut shard_undone[0],
+                        done_slices.into_iter().next().expect("one shard"),
+                        &mut outcomes[0],
+                    );
+                } else {
+                    pool.scope(|s| {
+                        let shard_iter = shards
+                            .iter_mut()
+                            .zip(&bounds)
+                            .zip(shard_staged.iter_mut())
+                            .zip(shard_undone.iter_mut())
+                            .zip(done_slices.into_iter().zip(outcomes.iter_mut()));
+                        for ((((shard, &(lo, hi)), staged), undone_buf), (done_slice, outcome)) in
+                            shard_iter
+                        {
+                            let active_slice = &active[lo..hi];
+                            let arena = &arena;
+                            let base = active_slice[0] as usize;
+                            s.spawn(move |_| {
+                                step_shard(
+                                    shard,
+                                    active_slice,
+                                    base,
+                                    rounds,
+                                    arena,
+                                    config.message_bit_limit,
+                                    staged,
+                                    undone_buf,
+                                    done_slice,
+                                    outcome,
+                                );
+                            });
+                        }
+                    });
+                }
+
+                let pools: Vec<_> = shards.into_iter().map(ShardView::into_pool).collect();
+                runtime.restore_pools(pools);
+                for ((shard_messages, shard_max_bits, undone_delta), undone_buf) in
+                    outcomes.iter().zip(shard_undone.iter())
+                {
+                    messages += shard_messages;
+                    max_bits = max_bits.max(*shard_max_bits);
+                    undone_count = (undone_count as i64 + undone_delta) as usize;
+                    undone.extend_from_slice(undone_buf);
+                }
+            }
+
+            staging.flip_shards(&mut shard_staged, &mut arena, &mut receivers);
+            next_active(&mut receivers, &undone, &mut active, n);
+            rounds += 1;
+        }
+
+        ExecutionReport {
+            completed,
+            rounds,
+            messages,
+            max_message_bits: max_bits,
+            outputs: runtime.outputs(),
+            per_edge_messages: None,
+            utilized_edges: None,
+            trace: None,
+        }
+    }
+}
+
+/// One thread's share of a round: steps `active_slice` (a contiguous window
+/// of the round's ascending active list) through `shard`, staging outgoing
+/// messages locally and recording done-flag transitions in the shard's
+/// window of the `done` array.
+#[allow(clippy::too_many_arguments)]
+fn step_shard<A: NodeAlgorithm>(
+    shard: &mut ShardView<'_, '_, A>,
+    active_slice: &[u32],
+    base: usize,
+    round: u64,
+    arena: &MessageArena,
+    bit_limit: u32,
+    staged: &mut Vec<(u32, Message)>,
+    undone_buf: &mut Vec<u32>,
+    done_slice: &mut [bool],
+    outcome: &mut (u64, u32, i64),
+) {
+    let mut local_messages = 0u64;
+    let mut local_max_bits = 0u32;
+    let mut undone_delta = 0i64;
+    undone_buf.clear();
+    for &iu in active_slice {
+        let i = iu as usize;
+        let now_done = shard.step(
+            i,
+            round,
+            arena.inbox(i),
+            bit_limit,
+            &mut local_max_bits,
+            &mut |_from, to, msg| {
+                local_messages += 1;
+                staged.push((to.0, msg));
+            },
+        );
+        let flag = &mut done_slice[i - base];
+        if now_done != *flag {
+            *flag = now_done;
+            undone_delta += if now_done { -1 } else { 1 };
+        }
+        if !now_done {
+            undone_buf.push(iu);
+        }
+    }
+    *outcome = (local_messages, local_max_bits, undone_delta);
+}
+
+/// Cuts the active list into at most `threads` contiguous shards with
+/// near-equal degree sums (stepping cost is dominated by inbox/outbox sizes,
+/// both bounded by degree). Rounds too small to amortize a fork-join
+/// ([`MIN_ACTIVE_PER_SHARD`]) get one shard.
+fn plan_shards<A: NodeAlgorithm>(
+    runtime: &NodeRuntime<'_, A>,
+    active: &[u32],
+    threads: usize,
+) -> Vec<(usize, usize)> {
+    let max_shards = threads.min(active.len() / MIN_ACTIVE_PER_SHARD).max(1);
+    if max_shards == 1 {
+        return vec![(0, active.len())];
+    }
+    // Weight = degree + 1: the constant covers per-activation overhead so
+    // isolated low-degree nodes still spread out.
+    let total: u64 = active
+        .iter()
+        .map(|&i| runtime.degree_of(i as usize) as u64 + 1)
+        .sum();
+    let mut bounds = Vec::with_capacity(max_shards);
+    let mut lo = 0usize;
+    let mut acc = 0u64;
+    let mut k = 1usize;
+    for (idx, &iu) in active.iter().enumerate() {
+        acc += runtime.degree_of(iu as usize) as u64 + 1;
+        // Close shard k once its quantile is reached, as long as enough
+        // items remain to keep every later shard nonempty.
+        if k < max_shards
+            && acc * max_shards as u64 >= total * k as u64
+            && active.len() - (idx + 1) >= max_shards - k
+        {
+            bounds.push((lo, idx + 1));
+            lo = idx + 1;
+            k += 1;
+        }
+    }
+    bounds.push((lo, active.len()));
+    bounds
+}
+
+/// Computes the next round's active set: `receivers ∪ undone`. When every
+/// node received a message (all-to-all rounds) the union is trivially the
+/// receiver list, which is taken over wholesale in O(1) instead of merged.
+/// Returns whether the new active set provably covers every node.
+fn next_active(receivers: &mut Vec<u32>, undone: &[u32], active: &mut Vec<u32>, n: usize) -> bool {
+    if receivers.len() == n {
+        std::mem::swap(receivers, active);
+        true
+    } else {
+        merge_sorted_into(receivers, undone, active);
+        active.len() == n
     }
 }
 
@@ -563,5 +924,48 @@ mod tests {
                 id_nodes: 2
             }
         );
+    }
+
+    #[test]
+    fn resolved_threads_prefers_explicit_setting() {
+        assert_eq!(SyncConfig::default().with_threads(3).resolved_threads(), 3);
+        assert!(SyncConfig::default().resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn plan_shards_covers_active_list_with_balanced_cuts() {
+        let g = generators::cycle(512);
+        let ids = IdAssignment::identity(512);
+        let runtime = NodeRuntime::new(&g, &ids, KtLevel::KT1, |_| Silent);
+        let active: Vec<u32> = (0..512).collect();
+        let bounds = plan_shards(&runtime, &active, 4);
+        assert_eq!(bounds.len(), 4);
+        assert_eq!(bounds[0].0, 0);
+        assert_eq!(bounds.last().unwrap().1, 512);
+        for w in bounds.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "shards must be contiguous");
+        }
+        // Uniform degrees → near-equal shard sizes.
+        for &(lo, hi) in &bounds {
+            let len = hi - lo;
+            assert!((96..=160).contains(&len), "unbalanced shard: {len}");
+        }
+        // Tiny rounds stay single-sharded.
+        let small: Vec<u32> = (0..40).collect();
+        assert_eq!(plan_shards(&runtime, &small, 4), vec![(0, 40)]);
+    }
+
+    #[test]
+    fn dense_round_requires_a_sender_quorum() {
+        // A lone hub covers half the directed edge slots by itself, but the
+        // dense path's O(n) flip would break the O(active + messages) round
+        // cost — only a quorum of active senders may trip the heuristic.
+        let g = generators::star(512);
+        let ids = IdAssignment::identity(512);
+        let runtime = NodeRuntime::new(&g, &ids, KtLevel::KT1, |_| Silent);
+        assert!(!runtime.dense_round(&[0]));
+        let all: Vec<u32> = (0..512).collect();
+        assert!(runtime.dense_round(&all));
+        assert!(runtime.dense_full());
     }
 }

@@ -1,0 +1,161 @@
+//! Differential tests for the asynchronous executor: the slot-indexed delay
+//! wheel must produce bit-identical [`AsyncReport`]s to the historical
+//! full-scan loop (`reference::NaiveAsyncSimulator`) under a fixed RNG seed
+//! — same completion, time, message counts, max bits, per-node outputs, and
+//! (implicitly) the same order of random delay draws.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symbreak_congest::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
+use symbreak_congest::reference::NaiveAsyncSimulator;
+use symbreak_congest::{KtLevel, Message, NodeAlgorithm, RoundContext};
+use symbreak_graphs::{generators, Graph, IdAssignment, NodeId};
+
+/// Asynchronous flooding: forward the token the first time it arrives.
+struct Flood {
+    have: bool,
+}
+
+impl NodeAlgorithm for Flood {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        let start = ctx.node() == NodeId(0) && !self.have && ctx.round() == 0;
+        if (start || !inbox.is_empty()) && !self.have {
+            self.have = true;
+            ctx.broadcast(&Message::tagged(1));
+        }
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+    fn output(&self) -> Option<u64> {
+        Some(u64::from(self.have))
+    }
+}
+
+/// Echoes every received batch back to all neighbours a bounded number of
+/// times — keeps many messages in flight across several wheel slots.
+struct Echo {
+    budget: u32,
+}
+
+impl NodeAlgorithm for Echo {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        let trigger = ctx.round() == 0 || !inbox.is_empty();
+        if trigger && self.budget > 0 {
+            self.budget -= 1;
+            ctx.broadcast(&Message::tagged(2).with_value(self.budget as u64));
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.budget == 0
+    }
+    fn output(&self) -> Option<u64> {
+        Some(self.budget as u64)
+    }
+}
+
+/// Never terminates, never sends — exercises the stuck-execution path where
+/// the naive loop idle-ticks to the time limit.
+struct Mute;
+
+impl NodeAlgorithm for Mute {
+    fn on_round(&mut self, _ctx: &mut RoundContext<'_>, _inbox: &[Message]) {}
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+fn assert_async_identical(wheel: &AsyncReport, naive: &AsyncReport, label: &str) {
+    assert_eq!(wheel.completed, naive.completed, "{label}: completed");
+    assert_eq!(wheel.time, naive.time, "{label}: time");
+    assert_eq!(wheel.messages, naive.messages, "{label}: messages");
+    assert_eq!(
+        wheel.max_message_bits, naive.max_message_bits,
+        "{label}: max_message_bits"
+    );
+    assert_eq!(wheel.outputs, naive.outputs, "{label}: outputs");
+}
+
+fn check_graph(graph: &Graph, label: &str) {
+    let ids = IdAssignment::identity(graph.num_nodes());
+    let sim = AsyncSimulator::new(graph, &ids, KtLevel::KT1);
+    let naive = NaiveAsyncSimulator::new(sim);
+    for seed in 0..6u64 {
+        for config in [
+            AsyncConfig::default(),
+            AsyncConfig {
+                max_delay: 1,
+                ..AsyncConfig::default()
+            },
+            AsyncConfig {
+                max_delay: 9,
+                max_time: 200,
+                ..AsyncConfig::default()
+            },
+        ] {
+            let wheel = sim.run(config, &mut StdRng::seed_from_u64(seed), |_| Flood {
+                have: false,
+            });
+            let slow = naive.run(config, &mut StdRng::seed_from_u64(seed), |_| Flood {
+                have: false,
+            });
+            assert_async_identical(&wheel, &slow, &format!("{label}/flood seed {seed}"));
+
+            let wheel = sim.run(config, &mut StdRng::seed_from_u64(seed ^ 0xA5), |_| Echo {
+                budget: 3,
+            });
+            let slow = naive.run(config, &mut StdRng::seed_from_u64(seed ^ 0xA5), |_| Echo {
+                budget: 3,
+            });
+            assert_async_identical(&wheel, &slow, &format!("{label}/echo seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn wheel_matches_full_scan_on_structured_graphs() {
+    for (label, graph) in [
+        ("path", generators::path(14)),
+        ("cycle", generators::cycle(11)),
+        ("clique", generators::clique(9)),
+        ("star", generators::star(12)),
+    ] {
+        check_graph(&graph, label);
+    }
+}
+
+#[test]
+fn wheel_matches_full_scan_on_random_graphs() {
+    for seed in 0..4u64 {
+        let graph = generators::connected_gnp(40, 0.12, &mut StdRng::seed_from_u64(seed));
+        check_graph(&graph, &format!("gnp-{seed}"));
+    }
+}
+
+#[test]
+fn wheel_matches_full_scan_when_stuck_or_truncated() {
+    let graph = generators::cycle(6);
+    let ids = IdAssignment::identity(6);
+    let sim = AsyncSimulator::new(&graph, &ids, KtLevel::KT1);
+    let naive = NaiveAsyncSimulator::new(sim);
+    let config = AsyncConfig {
+        max_time: 300,
+        ..AsyncConfig::default()
+    };
+    // Stuck: no messages, nodes never done → both report time = max_time.
+    let wheel = sim.run(config, &mut StdRng::seed_from_u64(1), |_| Mute);
+    let slow = naive.run(config, &mut StdRng::seed_from_u64(1), |_| Mute);
+    assert_async_identical(&wheel, &slow, "mute");
+    assert!(!wheel.completed);
+    assert_eq!(wheel.time, 300);
+
+    // Truncated mid-traffic: echoes outlive a tiny time limit.
+    let tiny = AsyncConfig {
+        max_time: 3,
+        ..AsyncConfig::default()
+    };
+    let wheel = sim.run(tiny, &mut StdRng::seed_from_u64(2), |_| Echo { budget: 50 });
+    let slow = naive.run(tiny, &mut StdRng::seed_from_u64(2), |_| Echo { budget: 50 });
+    assert_async_identical(&wheel, &slow, "echo-truncated");
+    assert!(!wheel.completed);
+}

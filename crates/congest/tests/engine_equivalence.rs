@@ -146,6 +146,97 @@ fn engine_matches_reference_on_random_graphs() {
     }
 }
 
+/// The parallel loop must be a pure throughput knob: identical `Report`s
+/// (rounds, message counts, max bits, per-node outputs) at every thread
+/// count, across workloads and graph shapes — including graphs dense enough
+/// to trigger the sequential loop's receiver-major delivery path.
+#[test]
+fn parallel_engine_is_deterministic_across_thread_counts() {
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("cycle", generators::cycle(1000)),
+        ("clique", generators::clique(96)),
+        (
+            "random_d8",
+            generators::random_near_regular(1000, 8, &mut StdRng::seed_from_u64(11)),
+        ),
+    ];
+    for (label, graph) in graphs {
+        let n = graph.num_nodes();
+        let ids = IdAssignment::identity(n);
+        let sim = SyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let sequential = SyncConfig::default().with_threads(1);
+
+        let flood_base = sim.run(sequential, |_| Flood {
+            have: false,
+            done: false,
+        });
+        let announce_base = sim.run(sequential, |init: NodeInit<'_>| MinGossip {
+            best: init.knowledge.own_id(),
+            rounds_left: 4,
+        });
+        assert!(flood_base.completed && announce_base.completed);
+
+        for threads in [2, 4, 8] {
+            let config = SyncConfig::default().with_threads(threads);
+            let flood = sim.run(config, |_| Flood {
+                have: false,
+                done: false,
+            });
+            assert_reports_identical(
+                &flood,
+                &flood_base,
+                &format!("{label}/flood @{threads} threads"),
+            );
+            let announce = sim.run(config, |init: NodeInit<'_>| MinGossip {
+                best: init.knowledge.own_id(),
+                rounds_left: 4,
+            });
+            assert_reports_identical(
+                &announce,
+                &announce_base,
+                &format!("{label}/gossip @{threads} threads"),
+            );
+        }
+    }
+}
+
+/// Parallel runs must also match the naive oracle, and an active observer
+/// (instrumentation) must yield the same report regardless of the requested
+/// thread count (it pins the run to the sequential loop).
+#[test]
+fn parallel_engine_matches_naive_and_instrumented_runs() {
+    let graph = generators::random_near_regular(600, 8, &mut StdRng::seed_from_u64(3));
+    let ids = IdAssignment::identity(graph.num_nodes());
+    let sim = SyncSimulator::new(&graph, &ids, KtLevel::KT1);
+    let naive = NaiveSyncSimulator::new(sim).run(SyncConfig::default(), |_| Flood {
+        have: false,
+        done: false,
+    });
+    for threads in [2, 8] {
+        let fast = sim.run(SyncConfig::default().with_threads(threads), |_| Flood {
+            have: false,
+            done: false,
+        });
+        assert_reports_identical(&fast, &naive, &format!("naive-vs-{threads}-threads"));
+
+        let instrumented = sim.run(SyncConfig::instrumented().with_threads(threads), |_| {
+            Flood {
+                have: false,
+                done: false,
+            }
+        });
+        let instrumented_seq = sim.run(SyncConfig::instrumented().with_threads(1), |_| Flood {
+            have: false,
+            done: false,
+        });
+        assert_reports_identical(
+            &instrumented,
+            &instrumented_seq,
+            &format!("instrumented-vs-{threads}-threads"),
+        );
+    }
+}
+
 #[test]
 fn engine_matches_reference_at_round_limit() {
     struct Chatter;

@@ -1,0 +1,259 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! The symbreak workspace builds with no registry access, so this crate
+//! provides the *API subset of rayon the workspace actually uses* — the
+//! scoped fork-join surface — with the same signatures, backed by
+//! [`std::thread::scope`]:
+//!
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] — carries a thread-count budget
+//!   and exposes [`ThreadPool::scope`] / [`ThreadPool::install`].
+//! * [`scope`] / [`Scope::spawn`] — structured parallelism over borrowed
+//!   data; every spawned task joins before `scope` returns.
+//! * [`ThreadPool::par_chunks_mut`] — the chunked `par_for` used by the
+//!   round engine's sharded stepping: splits a mutable slice into at most
+//!   `num_threads` contiguous chunks and runs one task per chunk.
+//!
+//! Differences from real rayon, by design of a minimal stand-in:
+//!
+//! * Tasks are executed on freshly spawned scoped OS threads rather than a
+//!   persistent work-stealing deque: **every `scope` call pays one OS-thread
+//!   spawn per task** (tens of microseconds each). Callers must make scopes
+//!   coarse — the round engine spawns one task per thread per *round* and
+//!   runs small rounds single-sharded inline, skipping `scope` entirely —
+//!   and intra-scope load *stealing* is missing.
+//! * A pool built with `num_threads(1)` — and any scope handed exactly one
+//!   task — runs inline on the caller thread with no spawn at all.
+//!
+//! Point the `[workspace.dependencies]` entry at crates.io rayon to swap in
+//! the real pool — no source changes required in calling crates.
+
+use std::fmt;
+
+/// Error type returned by [`ThreadPoolBuilder::build`].
+///
+/// The vendored pool cannot actually fail to build; the type exists for
+/// signature compatibility with rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default configuration (automatic thread count).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads; `0` (the default) means one per
+    /// available CPU.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. The vendored implementation never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A fork-join execution context with a fixed thread budget.
+///
+/// Unlike real rayon no worker threads are parked in the background: each
+/// [`ThreadPool::scope`] call spawns (at most `num_threads`) scoped threads
+/// and joins them before returning.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread budget.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with access to a [`Scope`] on which tasks borrowing local
+    /// data can be spawned; returns once every spawned task has finished.
+    pub fn scope<'env, F, R>(&self, op: F) -> R
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+        R: Send,
+    {
+        scope(op)
+    }
+
+    /// Runs `op` "inside" the pool. The vendored pool has no registry of
+    /// worker threads, so this simply invokes `op` on the caller thread; it
+    /// exists so code written against rayon's `pool.install(|| ...)` idiom
+    /// compiles unchanged.
+    pub fn install<F, R>(&self, op: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        op()
+    }
+
+    /// Chunked `par_for`: splits `items` into at most
+    /// [`ThreadPool::current_num_threads`] contiguous chunks of near-equal
+    /// length and invokes `f(chunk_index, chunk)` for each, in parallel.
+    ///
+    /// Chunk `k` covers `items[k*chunk_len ..]` for a `chunk_len` of
+    /// `ceil(items.len() / num_threads)`, so chunk indices are deterministic
+    /// regardless of execution interleaving. With one thread (or one chunk)
+    /// everything runs inline on the caller.
+    pub fn par_chunks_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if items.is_empty() {
+            return;
+        }
+        let chunk_len = items.len().div_ceil(self.num_threads);
+        if chunk_len == items.len() {
+            f(0, items);
+            return;
+        }
+        self.scope(|s| {
+            for (k, chunk) in items.chunks_mut(chunk_len).enumerate() {
+                let f = &f;
+                s.spawn(move |_| f(k, chunk));
+            }
+        });
+    }
+}
+
+/// A scope for spawning tasks that may borrow non-`'static` data, mirroring
+/// `rayon::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task; it runs concurrently with the caller and is joined
+    /// before the enclosing [`scope`] call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+impl fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
+/// Free-standing scope, mirroring `rayon::scope`: tasks spawned on the
+/// [`Scope`] may borrow from the enclosing stack frame and are all joined
+/// before this function returns.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_from_task() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn scope_tasks_borrow_locals() {
+        let mut parts = vec![0u64; 4];
+        let input = 10u64;
+        scope(|s| {
+            for (i, p) in parts.iter_mut().enumerate() {
+                let input = &input;
+                s.spawn(move |_| *p = *input + i as u64);
+            }
+        });
+        assert_eq!(parts, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn pool_builder_resolves_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let auto = ThreadPoolBuilder::new().build().unwrap();
+        assert!(auto.current_num_threads() >= 1);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_item_once() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut data = vec![0u32; 103];
+        pool.par_chunks_mut(&mut data, |k, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1 + k as u32;
+            }
+        });
+        // Chunk length is ceil(103/4) = 26, so chunk ids are 0..=3.
+        assert!(data.iter().all(|&x| (1..=4).contains(&x)));
+        let expected: u32 = (0..103).map(|i| 1 + (i / 26) as u32).sum();
+        assert_eq!(data.iter().sum::<u32>(), expected);
+        // Empty and single-chunk inputs run inline.
+        pool.par_chunks_mut(&mut [] as &mut [u32], |_, _| panic!("no chunks"));
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let mut tiny = vec![5u32; 3];
+        single.par_chunks_mut(&mut tiny, |k, chunk| {
+            assert_eq!(k, 0);
+            chunk[0] = 9;
+        });
+        assert_eq!(tiny, vec![9, 5, 5]);
+    }
+}
