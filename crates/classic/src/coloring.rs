@@ -76,6 +76,278 @@ pub mod greedy {
     }
 }
 
+pub mod palette {
+    //! Fixed-width bitset palettes.
+    //!
+    //! Every coloring stage in the workspace draws colours from a bounded
+    //! domain `0..domain` (at most `(1+ε)Δ + 1` colours), so a per-node
+    //! palette fits in `⌈domain/64⌉` machine words. Compared to the nested
+    //! `Vec<Vec<u64>>` representation this makes
+    //!
+    //! * striking a colour (`FINAL` digestion) an O(1) bit clear instead of
+    //!   a linear scan + `Vec` removal, and
+    //! * drawing a uniformly random *free* colour an O(words) select instead
+    //!   of materialising a filtered `Vec` per phase.
+    //!
+    //! Bit order is colour order: the `r`-th set bit (ascending) of a row is
+    //! the `r`-th smallest colour, so a flat draw visits colours in exactly
+    //! the order a sorted, duplicate-free colour list would — which is what
+    //! keeps the bitset pipelines bit-identical to the retained nested-`Vec`
+    //! baselines under the same per-node RNG streams.
+
+    /// Number of 64-bit words covering the colour domain `0..domain`.
+    pub fn words_for(domain: u64) -> usize {
+        (domain as usize).div_ceil(64).max(1)
+    }
+
+    /// The full palette `{0, …, domain − 1}` as one bitset row of
+    /// [`words_for`]`(domain)` words — the template the flat builders blit
+    /// into every participant's row.
+    pub fn full_row(domain: u64) -> Vec<u64> {
+        let mut row = vec![0u64; words_for(domain)];
+        for c in 0..domain {
+            row[(c / 64) as usize] |= 1 << (c % 64);
+        }
+        row
+    }
+
+    /// Selects the `r`-th (0-based, ascending) set bit of `words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `r + 1` bits are set.
+    pub fn nth_set_bit(words: &[u64], mut r: u32) -> u64 {
+        for (k, &w) in words.iter().enumerate() {
+            let ones = w.count_ones();
+            if r < ones {
+                let mut w = w;
+                for _ in 0..r {
+                    w &= w - 1; // clear lowest set bit
+                }
+                return (k as u64) * 64 + w.trailing_zeros() as u64;
+            }
+            r -= ones;
+        }
+        panic!("nth_set_bit: fewer than r+1 bits set");
+    }
+
+    /// Popcount of `palette & !excluded` (the free colours).
+    pub fn masked_count(palette: &[u64], excluded: &[u64]) -> u32 {
+        palette
+            .iter()
+            .zip(excluded)
+            .map(|(&p, &x)| (p & !x).count_ones())
+            .sum()
+    }
+
+    /// The `r`-th (ascending) colour of `palette & !excluded`.
+    pub fn masked_nth(palette: &[u64], excluded: &[u64], r: u32) -> u64 {
+        let mut rr = r;
+        for (k, (&p, &x)) in palette.iter().zip(excluded).enumerate() {
+            let mut w = p & !x;
+            let ones = w.count_ones();
+            if rr < ones {
+                for _ in 0..rr {
+                    w &= w - 1;
+                }
+                return (k as u64) * 64 + w.trailing_zeros() as u64;
+            }
+            rr -= ones;
+        }
+        panic!("masked_nth: fewer than r+1 free colours");
+    }
+
+    /// Bitset palettes of all `n` nodes of a stage, stored as one flat word
+    /// array (`n · words_per_node` words) plus per-node popcounts.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct PaletteBitsets {
+        domain: u64,
+        words: usize,
+        bits: Vec<u64>,
+        counts: Vec<u32>,
+    }
+
+    impl PaletteBitsets {
+        /// `n` empty palettes over the domain `0..domain`.
+        pub fn new(n: usize, domain: u64) -> Self {
+            let words = words_for(domain);
+            PaletteBitsets {
+                domain,
+                words,
+                bits: vec![0; n * words],
+                counts: vec![0; n],
+            }
+        }
+
+        /// Builds palettes from per-node colour lists. The domain is the
+        /// largest listed colour plus one; duplicates collapse.
+        pub fn from_lists(lists: &[Vec<u64>]) -> Self {
+            let domain = lists
+                .iter()
+                .flatten()
+                .copied()
+                .max()
+                .map_or(1, |max| max + 1);
+            let mut palettes = Self::new(lists.len(), domain);
+            for (v, list) in lists.iter().enumerate() {
+                for &c in list {
+                    palettes.insert(v, c);
+                }
+            }
+            palettes
+        }
+
+        /// The colour-domain bound (colours are `< domain`).
+        pub fn domain(&self) -> u64 {
+            self.domain
+        }
+
+        /// Words per node row.
+        pub fn words_per_node(&self) -> usize {
+            self.words
+        }
+
+        /// Node `v`'s palette words.
+        #[inline]
+        pub fn row(&self, v: usize) -> &[u64] {
+            &self.bits[v * self.words..(v + 1) * self.words]
+        }
+
+        /// Number of colours in node `v`'s palette.
+        #[inline]
+        pub fn count(&self, v: usize) -> u32 {
+            self.counts[v]
+        }
+
+        /// Adds colour `c` to node `v`'s palette.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `c` is outside the domain.
+        pub fn insert(&mut self, v: usize, c: u64) {
+            assert!(c < self.domain, "colour {c} outside domain {}", self.domain);
+            let word = &mut self.bits[v * self.words + (c / 64) as usize];
+            let mask = 1u64 << (c % 64);
+            if *word & mask == 0 {
+                *word |= mask;
+                self.counts[v] += 1;
+            }
+        }
+
+        /// Copies a precomputed row (e.g. one bucket's shared palette) into
+        /// node `v`'s row — the single-counting-pass builders compute each
+        /// distinct palette once and blit it per node.
+        pub fn set_row(&mut self, v: usize, row: &[u64], count: u32) {
+            assert_eq!(row.len(), self.words);
+            self.bits[v * self.words..(v + 1) * self.words].copy_from_slice(row);
+            self.counts[v] = count;
+        }
+
+        /// Whether colour `c` is in node `v`'s palette.
+        #[inline]
+        pub fn contains(&self, v: usize, c: u64) -> bool {
+            c < self.domain && (self.bits[v * self.words + (c / 64) as usize] >> (c % 64)) & 1 == 1
+        }
+    }
+
+    /// One node's mutable palette: the bitset row plus a live colour count.
+    /// [`NodePalette::remove`] is the O(1) strike that replaces the nested
+    /// representation's linear `Vec` removal.
+    #[derive(Debug, Clone)]
+    pub struct NodePalette {
+        words: Vec<u64>,
+        len: u32,
+    }
+
+    impl NodePalette {
+        /// Copies a row out of a [`PaletteBitsets`].
+        pub fn from_row(row: &[u64], count: u32) -> Self {
+            NodePalette {
+                words: row.to_vec(),
+                len: count,
+            }
+        }
+
+        /// Number of colours currently in the palette.
+        pub fn len(&self) -> usize {
+            self.len as usize
+        }
+
+        /// Whether the palette is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// Strikes colour `c` (no-op when absent or out of domain).
+        pub fn remove(&mut self, c: u64) {
+            let k = (c / 64) as usize;
+            if k >= self.words.len() {
+                return;
+            }
+            let mask = 1u64 << (c % 64);
+            if self.words[k] & mask != 0 {
+                self.words[k] &= !mask;
+                self.len -= 1;
+            }
+        }
+
+        /// The `r`-th smallest colour of the palette.
+        pub fn nth(&self, r: usize) -> u64 {
+            nth_set_bit(&self.words, r as u32)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bitsets_mirror_lists() {
+            let lists = vec![vec![0, 3, 64, 130], vec![], vec![5]];
+            let p = PaletteBitsets::from_lists(&lists);
+            assert_eq!(p.domain(), 131);
+            assert_eq!(p.words_per_node(), 3);
+            for (v, list) in lists.iter().enumerate() {
+                assert_eq!(p.count(v) as usize, list.len());
+                for c in 0..140u64 {
+                    assert_eq!(p.contains(v, c), list.contains(&c), "v={v} c={c}");
+                }
+                for (r, &c) in list.iter().enumerate() {
+                    assert_eq!(nth_set_bit(p.row(v), r as u32), c);
+                }
+            }
+        }
+
+        #[test]
+        fn masked_draw_skips_excluded_colors() {
+            let lists = vec![vec![1, 2, 5, 66, 70]];
+            let p = PaletteBitsets::from_lists(&lists);
+            let mut excluded = vec![0u64; p.words_per_node()];
+            excluded[0] |= 1 << 2; // strike colour 2
+            excluded[1] |= 1 << (66 - 64); // strike colour 66
+            assert_eq!(masked_count(p.row(0), &excluded), 3);
+            assert_eq!(masked_nth(p.row(0), &excluded, 0), 1);
+            assert_eq!(masked_nth(p.row(0), &excluded, 1), 5);
+            assert_eq!(masked_nth(p.row(0), &excluded, 2), 70);
+        }
+
+        #[test]
+        fn node_palette_removal_is_exact() {
+            let p = PaletteBitsets::from_lists(&[vec![0, 1, 2, 3]]);
+            let mut np = NodePalette::from_row(p.row(0), p.count(0));
+            assert_eq!(np.len(), 4);
+            np.remove(1);
+            np.remove(1); // double strike is a no-op
+            np.remove(99); // out of domain is a no-op
+            assert_eq!(np.len(), 3);
+            assert_eq!(np.nth(0), 0);
+            assert_eq!(np.nth(1), 2);
+            assert_eq!(np.nth(2), 3);
+            assert!(!np.is_empty());
+        }
+    }
+}
+
 pub mod johansson {
     //! Johansson's randomized (deg+1)-list-coloring as a CONGEST automaton.
     //!
@@ -87,6 +359,18 @@ pub mod johansson {
     //! per active edge per phase, which is exactly the behaviour Algorithm 1
     //! relies on when colouring each part `B_i` (Step 3) and the leftover
     //! set `L` (Step 5).
+    //!
+    //! Two equivalent runtimes are provided:
+    //!
+    //! * [`run`] — the retained nested-`Vec` baseline: per-node palette and
+    //!   active-list `Vec`s cloned out of a [`ListColoringSpec`];
+    //! * [`run_flat`] — the flat pipeline: palettes as fixed-width bitsets
+    //!   ([`super::palette`]) and active lists in one CSR arena
+    //!   ([`FlatListColoring`]), borrowed (not cloned) into the nodes.
+    //!
+    //! Both draw colours in ascending palette order from identical per-node
+    //! RNG streams, so their outputs and reports are bit-identical (asserted
+    //! by the `stage_flat_equivalence` differential suite).
 
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -157,8 +441,12 @@ pub mod johansson {
 
     impl Node {
         fn remove_from_palette(&mut self, c: u64) {
+            // Order-preserving removal: palettes are kept sorted ascending so
+            // the nested and flat runtimes draw identical colours from
+            // identical RNG streams (the flat bitset can only enumerate
+            // colours in ascending order).
             if let Some(pos) = self.palette.iter().position(|&x| x == c) {
-                self.palette.swap_remove(pos);
+                self.palette.remove(pos);
             }
         }
         fn send_all(&self, ctx: &mut RoundContext<'_>, msg: &Message) {
@@ -253,6 +541,160 @@ pub mod johansson {
         );
         (report.outputs.clone(), report)
     }
+
+    /// Flat specification of a list-coloring instance: bitset palettes plus
+    /// one CSR arena of active lists — two allocations where the nested
+    /// [`ListColoringSpec`] holds `2n` nested `Vec`s.
+    #[derive(Debug, Clone)]
+    pub struct FlatListColoring {
+        participating: Vec<bool>,
+        palettes: super::palette::PaletteBitsets,
+        active: symbreak_graphs::AdjacencyArena,
+    }
+
+    impl FlatListColoring {
+        /// The classic (Δ+1)-coloring instance, built in a single counting
+        /// pass: one full-palette template row blitted per node and the
+        /// graph's own CSR rows as active lists.
+        pub fn delta_plus_one(graph: &Graph) -> Self {
+            let n = graph.num_nodes();
+            let domain = graph.max_degree() as u64 + 1;
+            let template = super::palette::full_row(domain);
+            let mut palettes = super::palette::PaletteBitsets::new(n, domain);
+            for v in 0..n {
+                palettes.set_row(v, &template, domain as u32);
+            }
+            FlatListColoring {
+                participating: vec![true; n],
+                palettes,
+                active: symbreak_graphs::AdjacencyArena::from_filtered(graph, |_, _| true),
+            }
+        }
+
+        /// Flattens a nested spec (used by the differential suite and the
+        /// bench baseline interleave).
+        ///
+        /// # Panics
+        ///
+        /// Panics when the nested spec violates the `(deg+1)`-list-coloring
+        /// precondition. Palette lists must be sorted ascending and
+        /// duplicate-free for flat/nested runs to be bit-identical (all the
+        /// workspace's builders produce such lists); this is checked in
+        /// debug builds.
+        pub fn from_spec(graph: &Graph, spec: &ListColoringSpec) -> Self {
+            spec.validate(graph);
+            debug_assert!(spec
+                .palettes
+                .iter()
+                .all(|list| list.windows(2).all(|w| w[0] < w[1])));
+            FlatListColoring {
+                participating: spec.participating.clone(),
+                palettes: super::palette::PaletteBitsets::from_lists(&spec.palettes),
+                active: symbreak_graphs::AdjacencyArena::from_rows(&spec.active),
+            }
+        }
+    }
+
+    struct FlatNode<'s> {
+        participating: bool,
+        color: Option<u64>,
+        palette: super::palette::NodePalette,
+        active: &'s [NodeId],
+        candidate: Option<u64>,
+        rng: StdRng,
+    }
+
+    impl FlatNode<'_> {
+        fn send_all(&self, ctx: &mut RoundContext<'_>, msg: &Message) {
+            for &u in self.active {
+                ctx.send(u, *msg);
+            }
+        }
+    }
+
+    impl NodeAlgorithm for FlatNode<'_> {
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+            if !self.participating {
+                return;
+            }
+            if ctx.round() % 2 == 0 {
+                for msg in inbox {
+                    if msg.tag() == TAG_FINAL {
+                        self.palette.remove(msg.values()[0]);
+                    }
+                }
+                if self.color.is_none() {
+                    assert!(
+                        !self.palette.is_empty(),
+                        "palette exhausted — the list-coloring precondition was violated"
+                    );
+                    let idx = self.rng.gen_range(0..self.palette.len());
+                    let c = self.palette.nth(idx);
+                    self.candidate = Some(c);
+                    self.send_all(ctx, &Message::tagged(TAG_PROPOSE).with_value(c));
+                }
+            } else if self.color.is_none() {
+                let c = self.candidate.expect("a candidate was proposed this phase");
+                let conflict = inbox
+                    .iter()
+                    .any(|m| m.tag() == TAG_PROPOSE && m.values()[0] == c);
+                if !conflict {
+                    self.color = Some(c);
+                    self.send_all(ctx, &Message::tagged(TAG_FINAL).with_value(c));
+                }
+                self.candidate = None;
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            !self.participating || self.color.is_some()
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.color
+        }
+    }
+
+    /// Runs Johansson's list-coloring on the flat pipeline: the instance is
+    /// borrowed into the nodes (per-node state is one small bitset), and the
+    /// outputs are moved — not cloned — out of the report.
+    ///
+    /// Bit-identical to [`run`] on the equivalent nested spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run fails to terminate within the configured round
+    /// limit or a participant exhausts its palette.
+    pub fn run_flat(
+        graph: &Graph,
+        ids: &IdAssignment,
+        level: KtLevel,
+        instance: &FlatListColoring,
+        seed: u64,
+        config: SyncConfig,
+    ) -> (Vec<Option<u64>>, ExecutionReport) {
+        let sim = SyncSimulator::new(graph, ids, level);
+        let mut report = sim.run(config, |init| {
+            let i = init.node.index();
+            FlatNode {
+                participating: instance.participating[i],
+                color: None,
+                palette: super::palette::NodePalette::from_row(
+                    instance.palettes.row(i),
+                    instance.palettes.count(i),
+                ),
+                active: instance.active.row(init.node),
+                candidate: None,
+                rng: StdRng::seed_from_u64(seed ^ 0x517cc1b727220a95u64.wrapping_mul(i as u64 + 1)),
+            }
+        });
+        assert!(
+            report.completed,
+            "Johansson list-coloring did not terminate"
+        );
+        let colors = std::mem::take(&mut report.outputs);
+        (colors, report)
+    }
 }
 
 pub mod baseline {
@@ -264,10 +706,23 @@ pub mod baseline {
     use symbreak_congest::{ExecutionReport, KtLevel, SyncConfig};
     use symbreak_graphs::{Graph, IdAssignment};
 
-    use super::johansson::{self, ListColoringSpec};
+    use super::johansson::{self, FlatListColoring, ListColoringSpec};
 
-    /// Runs the baseline and returns `(colors, report)`.
+    /// Runs the baseline and returns `(colors, report)`. The flat pipeline
+    /// is used (bit-identical to the nested one; see [`run_nested`]).
     pub fn run(
+        graph: &Graph,
+        ids: &IdAssignment,
+        seed: u64,
+        config: SyncConfig,
+    ) -> (Vec<Option<u64>>, ExecutionReport) {
+        let instance = FlatListColoring::delta_plus_one(graph);
+        johansson::run_flat(graph, ids, KtLevel::KT1, &instance, seed, config)
+    }
+
+    /// The baseline on the retained nested-`Vec` runtime (differential
+    /// oracle and bench baseline).
+    pub fn run_nested(
         graph: &Graph,
         ids: &IdAssignment,
         seed: u64,
@@ -401,6 +856,46 @@ mod tests {
             participating: vec![true; 4],
         };
         let _ = johansson::run(&g, &ids, KtLevel::KT1, &spec, 1, SyncConfig::default());
+    }
+
+    #[test]
+    fn flat_johansson_is_bit_identical_to_nested() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (n, p, seed) in [(20usize, 0.3, 1u64), (40, 0.15, 2), (25, 0.6, 3)] {
+            let g = generators::connected_gnp(n, p, &mut rng);
+            let ids = IdAssignment::identity(n);
+            let spec = ListColoringSpec::delta_plus_one(&g);
+            let flat = johansson::FlatListColoring::from_spec(&g, &spec);
+            let (nested_colors, nested_report) =
+                johansson::run(&g, &ids, KtLevel::KT1, &spec, seed, SyncConfig::default());
+            let (flat_colors, flat_report) =
+                johansson::run_flat(&g, &ids, KtLevel::KT1, &flat, seed, SyncConfig::default());
+            assert_eq!(flat_colors, nested_colors, "n={n} seed={seed}");
+            assert_eq!(flat_report.messages, nested_report.messages);
+            assert_eq!(flat_report.rounds, nested_report.rounds);
+        }
+    }
+
+    #[test]
+    fn flat_delta_plus_one_builder_matches_nested_builder() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::gnp(30, 0.2, &mut rng);
+        let ids = IdAssignment::identity(30);
+        let from_builder = johansson::FlatListColoring::delta_plus_one(&g);
+        let from_spec =
+            johansson::FlatListColoring::from_spec(&g, &ListColoringSpec::delta_plus_one(&g));
+        let (a, _) = johansson::run_flat(
+            &g,
+            &ids,
+            KtLevel::KT1,
+            &from_builder,
+            5,
+            SyncConfig::default(),
+        );
+        let (b, _) =
+            johansson::run_flat(&g, &ids, KtLevel::KT1, &from_spec, 5, SyncConfig::default());
+        assert_eq!(a, b);
+        assert!(verify::is_proper_coloring(&g, &a));
     }
 
     #[test]

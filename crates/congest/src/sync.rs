@@ -40,10 +40,19 @@ use crate::{KnowledgeView, KtLevel, Message, NodeAlgorithm, NodeInit, SimError};
 /// and the parallel loop with one test suite).
 pub const THREADS_ENV: &str = "CONGEST_THREADS";
 
-/// Rounds with fewer active nodes than this per thread run single-sharded
+/// Rounds with fewer active nodes than this per shard run single-sharded
 /// (inline, no cross-thread dispatch) — fork-join overhead would dwarf the
 /// work. Exceeding it does not force parallelism; it only permits it.
 const MIN_ACTIVE_PER_SHARD: usize = 32;
+
+/// Shards per worker thread: the active list is cut into up to this many
+/// shards per thread, claimed dynamically (see the vendored
+/// `rayon::ThreadPool::par_chunks_mut`), so one skewed shard — a bucket
+/// whose coloring traffic dwarfs its degree-balanced share, a power-law
+/// hub's inbox — keeps one worker busy while the others drain the rest.
+/// Shard boundaries stay deterministic, so the `flip_shards` merge order
+/// (and therefore the report) is bit-identical at any thread count.
+const SHARD_OVERSUBSCRIPTION: usize = 4;
 
 /// Configuration of a synchronous run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -455,11 +464,16 @@ impl<'g> SyncSimulator<'g> {
         let mut done = runtime.done_flags();
         let mut undone_count = done.iter().filter(|&&d| !d).count();
 
-        // Thread-local round state, reused across rounds: per-shard staging
-        // buffers (merged by `flip_shards`) and per-shard undone lists
-        // (concatenated — shard order preserves ascending node order).
-        let mut shard_staged: Vec<Vec<(u32, Message)>> = (0..threads).map(|_| Vec::new()).collect();
-        let mut shard_undone: Vec<Vec<u32>> = (0..threads).map(|_| Vec::new()).collect();
+        // Per-shard round state, reused across rounds: staging buffers
+        // (merged by `flip_shards`) and undone lists (concatenated — shard
+        // order preserves ascending node order). Sized for the maximum shard
+        // count: the active list is oversubscribed into up to
+        // `SHARD_OVERSUBSCRIPTION` shards per thread so the pool's chunk
+        // claiming can rebalance skewed shards mid-round.
+        let max_shards = threads * SHARD_OVERSUBSCRIPTION;
+        let mut shard_staged: Vec<Vec<(u32, Message)>> =
+            (0..max_shards).map(|_| Vec::new()).collect();
+        let mut shard_undone: Vec<Vec<u32>> = (0..max_shards).map(|_| Vec::new()).collect();
 
         loop {
             if rounds > 0 && arena.len() == 0 && undone_count == 0 {
@@ -471,77 +485,67 @@ impl<'g> SyncSimulator<'g> {
             }
 
             undone.clear();
+            let mut shards_used = 0usize;
             if !active.is_empty() {
-                let bounds = plan_shards(&runtime, &active, threads);
+                let bounds = plan_shards(&runtime, &active, max_shards);
+                shards_used = bounds.len();
                 let node_bounds: Vec<(usize, usize)> = bounds
                     .iter()
                     .map(|&(lo, hi)| (active[lo] as usize, active[hi - 1] as usize + 1))
                     .collect();
-                let mut shards = runtime.shard_views(&node_bounds);
+                let shards = runtime.shard_views(&node_bounds);
                 let done_slices = split_ranges_mut(&mut done, &node_bounds);
-                // Per-shard (messages, max_bits, undone_count delta).
-                let mut outcomes: Vec<(u64, u32, i64)> = vec![(0, 0, 0); bounds.len()];
+                let mut tasks: Vec<ShardTask<'_, '_, A>> = shards
+                    .into_iter()
+                    .zip(&bounds)
+                    .zip(shard_staged.iter_mut())
+                    .zip(shard_undone.iter_mut())
+                    .zip(done_slices)
+                    .map(
+                        |((((shard, &(lo, hi)), staged), undone_buf), done_slice)| ShardTask {
+                            shard,
+                            active_slice: &active[lo..hi],
+                            base: active[lo] as usize,
+                            staged,
+                            undone_buf,
+                            done_slice,
+                            outcome: (0, 0, 0),
+                        },
+                    )
+                    .collect();
 
-                if bounds.len() == 1 {
+                if tasks.len() == 1 {
                     // Small round: one shard, stepped inline on the caller
                     // thread through the exact same path the workers run.
-                    step_shard(
-                        &mut shards[0],
-                        &active,
-                        node_bounds[0].0,
-                        rounds,
-                        &arena,
-                        config.message_bit_limit,
-                        &mut shard_staged[0],
-                        &mut shard_undone[0],
-                        done_slices.into_iter().next().expect("one shard"),
-                        &mut outcomes[0],
-                    );
+                    run_shard_task(&mut tasks[0], rounds, &arena, config.message_bit_limit);
                 } else {
-                    pool.scope(|s| {
-                        let shard_iter = shards
-                            .iter_mut()
-                            .zip(&bounds)
-                            .zip(shard_staged.iter_mut())
-                            .zip(shard_undone.iter_mut())
-                            .zip(done_slices.into_iter().zip(outcomes.iter_mut()));
-                        for ((((shard, &(lo, hi)), staged), undone_buf), (done_slice, outcome)) in
-                            shard_iter
-                        {
-                            let active_slice = &active[lo..hi];
-                            let arena = &arena;
-                            let base = active_slice[0] as usize;
-                            s.spawn(move |_| {
-                                step_shard(
-                                    shard,
-                                    active_slice,
-                                    base,
-                                    rounds,
-                                    arena,
-                                    config.message_bit_limit,
-                                    staged,
-                                    undone_buf,
-                                    done_slice,
-                                    outcome,
-                                );
-                            });
+                    // Oversubscribed shards, dynamically claimed: the pool
+                    // cuts the task list into single-task chunks and its
+                    // workers claim them through one atomic cursor, so a
+                    // heavy shard no longer stalls the round (ROADMAP
+                    // "work-stealing inside rounds").
+                    let arena_ref = &arena;
+                    let bit_limit = config.message_bit_limit;
+                    pool.par_chunks_mut(&mut tasks, |_, chunk| {
+                        for task in chunk {
+                            run_shard_task(task, rounds, arena_ref, bit_limit);
                         }
                     });
                 }
 
-                let pools: Vec<_> = shards.into_iter().map(ShardView::into_pool).collect();
-                runtime.restore_pools(pools);
-                for ((shard_messages, shard_max_bits, undone_delta), undone_buf) in
-                    outcomes.iter().zip(shard_undone.iter())
-                {
+                let mut pools = Vec::with_capacity(tasks.len());
+                for task in tasks {
+                    pools.push(task.shard.into_pool());
+                    let (shard_messages, shard_max_bits, undone_delta) = task.outcome;
                     messages += shard_messages;
-                    max_bits = max_bits.max(*shard_max_bits);
+                    max_bits = max_bits.max(shard_max_bits);
                     undone_count = (undone_count as i64 + undone_delta) as usize;
-                    undone.extend_from_slice(undone_buf);
+                    undone.extend_from_slice(task.undone_buf);
                 }
+                runtime.restore_pools(pools);
             }
 
-            staging.flip_shards(&mut shard_staged, &mut arena, &mut receivers);
+            staging.flip_shards(&mut shard_staged[..shards_used], &mut arena, &mut receivers);
             next_active(&mut receivers, &undone, &mut active, n);
             rounds += 1;
         }
@@ -557,6 +561,43 @@ impl<'g> SyncSimulator<'g> {
             trace: None,
         }
     }
+}
+
+/// One claimable unit of a round: a [`ShardView`] over a contiguous window
+/// of the active list plus that shard's staging buffer, undone list, done
+/// window and outcome accumulator. The parallel loop builds one task per
+/// shard and lets the pool's workers claim them dynamically.
+struct ShardTask<'a, 'rt, A> {
+    shard: ShardView<'rt, 'a, A>,
+    active_slice: &'a [u32],
+    base: usize,
+    staged: &'a mut Vec<(u32, Message)>,
+    undone_buf: &'a mut Vec<u32>,
+    done_slice: &'a mut [bool],
+    /// `(messages, max_bits, undone_count delta)`.
+    outcome: (u64, u32, i64),
+}
+
+/// Steps one [`ShardTask`] — shared by the inline single-shard path and the
+/// claimed parallel path so the two cannot drift.
+fn run_shard_task<A: NodeAlgorithm>(
+    task: &mut ShardTask<'_, '_, A>,
+    round: u64,
+    arena: &MessageArena,
+    bit_limit: u32,
+) {
+    step_shard(
+        &mut task.shard,
+        task.active_slice,
+        task.base,
+        round,
+        arena,
+        bit_limit,
+        task.staged,
+        task.undone_buf,
+        task.done_slice,
+        &mut task.outcome,
+    );
 }
 
 /// One thread's share of a round: steps `active_slice` (a contiguous window
@@ -605,16 +646,18 @@ fn step_shard<A: NodeAlgorithm>(
     *outcome = (local_messages, local_max_bits, undone_delta);
 }
 
-/// Cuts the active list into at most `threads` contiguous shards with
+/// Cuts the active list into at most `shard_limit` contiguous shards with
 /// near-equal degree sums (stepping cost is dominated by inbox/outbox sizes,
-/// both bounded by degree). Rounds too small to amortize a fork-join
+/// both bounded by degree). The parallel loop passes
+/// `threads · SHARD_OVERSUBSCRIPTION` so dynamic claiming has spare shards
+/// to rebalance with. Rounds too small to amortize a fork-join
 /// ([`MIN_ACTIVE_PER_SHARD`]) get one shard.
 fn plan_shards<A: NodeAlgorithm>(
     runtime: &NodeRuntime<'_, A>,
     active: &[u32],
-    threads: usize,
+    shard_limit: usize,
 ) -> Vec<(usize, usize)> {
-    let max_shards = threads.min(active.len() / MIN_ACTIVE_PER_SHARD).max(1);
+    let max_shards = shard_limit.min(active.len() / MIN_ACTIVE_PER_SHARD).max(1);
     if max_shards == 1 {
         return vec![(0, active.len())];
     }

@@ -26,6 +26,7 @@ use symbreak_graphs::{properties, Graph, IdAssignment, NodeId};
 use crate::error::CoreError;
 use crate::partition::{ChangPartition, Part};
 use crate::query_coloring::{run_stage, QueryPlan, StageSpec};
+use crate::stage_flat::{run_stage_flat, FlatStageSpec, StagePipeline};
 
 /// Configuration of Algorithm 1.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +41,12 @@ pub struct Alg1Config {
     pub edge_threshold_factor: f64,
     /// Seed for the per-node private randomness of the coloring stages.
     pub stage_seed: u64,
+    /// Which stage runtime to drive the coloring stages through (outputs are
+    /// bit-identical either way; `Nested` is the retained baseline).
+    pub pipeline: StagePipeline,
+    /// Worker threads for the simulated stages (`0` = automatic, i.e. the
+    /// `CONGEST_THREADS` environment variable or the CPU count).
+    pub threads: usize,
 }
 
 impl Default for Alg1Config {
@@ -49,6 +56,8 @@ impl Default for Alg1Config {
             max_levels: 3,
             edge_threshold_factor: 2.0,
             stage_seed: 0x1_5eed,
+            pipeline: StagePipeline::Flat,
+            threads: 0,
         }
     }
 }
@@ -114,10 +123,14 @@ pub fn run<R: Rng + ?Sized>(
     let palette_size = max_degree + 1;
 
     let mut colors: Vec<Option<u64>> = vec![None; n];
-    let mut history: Vec<ChangPartition> = Vec::new();
+    // One query plan for the whole run: the flat Θ(m) neighbour table is
+    // built once; each finished level's partition is appended in place
+    // behind the `Arc` (the stage's clone has been dropped by then).
+    let mut plan = Arc::new(QueryPlan::new(graph, ids, Vec::new()));
     let mut levels_used = 0;
     let phase_limit_buckets = (4.0 * log_n).ceil() as usize + 4;
     let edge_threshold = (config.edge_threshold_factor * n as f64 * log_n).ceil() as u64;
+    let stage_config = SyncConfig::default().with_threads(config.threads);
 
     for level in 0..config.max_levels {
         // Step 4 (and its level-0 analogue): measure the uncoloured subgraph
@@ -151,93 +164,62 @@ pub fn run<R: Rng + ?Sized>(
         let parts = partition.parts_for(ids);
 
         // Step 3: colour all buckets in parallel with one stage.
-        let participating: Vec<bool> = graph
-            .nodes()
-            .map(|v| uncolored[v.index()] && matches!(parts[v.index()], Part::Bucket(_)))
-            .collect();
-        let palettes: Vec<Vec<u64>> = graph
-            .nodes()
-            .map(|v| match parts[v.index()] {
-                Part::Bucket(b) if participating[v.index()] => {
-                    partition.palette_of_bucket(palette_size, b)
-                }
-                _ => Vec::new(),
-            })
-            .collect();
-        let active: Vec<Vec<NodeId>> = graph
-            .nodes()
-            .map(|v| {
-                if !participating[v.index()] {
-                    return Vec::new();
-                }
-                graph
-                    .neighbors(v)
-                    .filter(|u| participating[u.index()] && parts[u.index()] == parts[v.index()])
-                    .collect()
-            })
-            .collect();
-        let spec = StageSpec {
-            participating,
-            palettes,
-            active,
-            existing_colors: colors.clone(),
-            plan: Arc::new(QueryPlan::new(graph, ids, history.clone())),
-            phase_limit: phase_limit_buckets,
+        let seed = config.stage_seed.wrapping_add(level as u64);
+        let (stage_colors, report) = match config.pipeline {
+            StagePipeline::Flat => {
+                let spec = FlatStageSpec::for_bucket_level(
+                    graph,
+                    &partition,
+                    &parts,
+                    &colors,
+                    palette_size,
+                    Arc::clone(&plan),
+                    phase_limit_buckets,
+                );
+                run_stage_flat(graph, ids, &spec, seed, stage_config)
+            }
+            StagePipeline::Nested => {
+                let spec = nested_level_spec(
+                    graph,
+                    &partition,
+                    &parts,
+                    &colors,
+                    palette_size,
+                    Arc::clone(&plan),
+                    phase_limit_buckets,
+                );
+                run_stage(graph, ids, &spec, seed, stage_config)
+            }
         };
-        let (stage_colors, report) = run_stage(
-            graph,
-            ids,
-            &spec,
-            config.stage_seed.wrapping_add(level as u64),
-            SyncConfig::default(),
-        );
         costs.charge_report(format!("bucket coloring, level {level}"), &report);
         colors = stage_colors;
-        history.push(partition);
+        Arc::get_mut(&mut plan)
+            .expect("stage spec dropped, plan uniquely held")
+            .push_level(partition);
         levels_used += 1;
     }
 
     // Step 5: final stage on the remaining (sparse) uncoloured subgraph.
-    let uncolored: Vec<bool> = colors.iter().map(Option::is_none).collect();
-    if uncolored.iter().any(|&u| u) {
-        let participating = uncolored.clone();
-        let palettes: Vec<Vec<u64>> = graph
-            .nodes()
-            .map(|v| {
-                if participating[v.index()] {
-                    (0..palette_size).collect()
-                } else {
-                    Vec::new()
-                }
-            })
-            .collect();
-        let active: Vec<Vec<NodeId>> = graph
-            .nodes()
-            .map(|v| {
-                if !participating[v.index()] {
-                    return Vec::new();
-                }
-                graph
-                    .neighbors(v)
-                    .filter(|u| participating[u.index()])
-                    .collect()
-            })
-            .collect();
-        let spec = StageSpec {
-            participating,
-            palettes,
-            active,
-            existing_colors: colors.clone(),
-            plan: Arc::new(QueryPlan::new(graph, ids, history.clone())),
-            phase_limit: (16.0 * log_n).ceil() as usize + 32,
+    if colors.iter().any(Option::is_none) {
+        let phase_limit = (16.0 * log_n).ceil() as usize + 32;
+        let seed = config.stage_seed.wrapping_add(0xffff);
+        let (final_colors, report) = match config.pipeline {
+            StagePipeline::Flat => {
+                let spec = FlatStageSpec::for_final_stage(
+                    graph,
+                    &colors,
+                    palette_size,
+                    Arc::clone(&plan),
+                    phase_limit,
+                );
+                run_stage_flat(graph, ids, &spec, seed, stage_config)
+            }
+            StagePipeline::Nested => {
+                let spec =
+                    nested_final_spec(graph, &colors, palette_size, Arc::clone(&plan), phase_limit);
+                run_stage(graph, ids, &spec, seed, stage_config)
+            }
         };
-        let (final_colors, report) = run_stage(
-            graph,
-            ids,
-            &spec,
-            config.stage_seed.wrapping_add(0xffff),
-            SyncConfig::default(),
-        );
         costs.charge_report("final-stage coloring", &report);
         colors = final_colors;
     }
@@ -254,6 +236,96 @@ pub fn run<R: Rng + ?Sized>(
         levels_used,
         max_degree,
     })
+}
+
+/// The retained nested-`Vec` builder for one bucket-coloring level — exactly
+/// the PR-2-era stage setup (per-node palette recomputation and all), kept
+/// as the baseline the flat pipeline's stage-setup speedup is measured
+/// against (`BENCH_alg_coloring.json`) and as the differential oracle.
+pub fn nested_level_spec(
+    graph: &Graph,
+    partition: &ChangPartition,
+    parts: &[Part],
+    colors: &[Option<u64>],
+    palette_size: u64,
+    plan: Arc<QueryPlan>,
+    phase_limit: usize,
+) -> StageSpec {
+    let participating: Vec<bool> = graph
+        .nodes()
+        .map(|v| colors[v.index()].is_none() && matches!(parts[v.index()], Part::Bucket(_)))
+        .collect();
+    let palettes: Vec<Vec<u64>> = graph
+        .nodes()
+        .map(|v| match parts[v.index()] {
+            Part::Bucket(b) if participating[v.index()] => {
+                partition.palette_of_bucket(palette_size, b)
+            }
+            _ => Vec::new(),
+        })
+        .collect();
+    let active: Vec<Vec<NodeId>> = graph
+        .nodes()
+        .map(|v| {
+            if !participating[v.index()] {
+                return Vec::new();
+            }
+            graph
+                .neighbors(v)
+                .filter(|u| participating[u.index()] && parts[u.index()] == parts[v.index()])
+                .collect()
+        })
+        .collect();
+    StageSpec {
+        participating,
+        palettes,
+        active,
+        existing_colors: colors.to_vec(),
+        plan,
+        phase_limit,
+    }
+}
+
+/// The retained nested-`Vec` builder for the final stage (see
+/// [`nested_level_spec`]).
+pub fn nested_final_spec(
+    graph: &Graph,
+    colors: &[Option<u64>],
+    palette_size: u64,
+    plan: Arc<QueryPlan>,
+    phase_limit: usize,
+) -> StageSpec {
+    let participating: Vec<bool> = colors.iter().map(Option::is_none).collect();
+    let palettes: Vec<Vec<u64>> = graph
+        .nodes()
+        .map(|v| {
+            if participating[v.index()] {
+                (0..palette_size).collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let active: Vec<Vec<NodeId>> = graph
+        .nodes()
+        .map(|v| {
+            if !participating[v.index()] {
+                return Vec::new();
+            }
+            graph
+                .neighbors(v)
+                .filter(|u| participating[u.index()])
+                .collect()
+        })
+        .collect();
+    StageSpec {
+        participating,
+        palettes,
+        active,
+        existing_colors: colors.to_vec(),
+        plan,
+        phase_limit,
+    }
 }
 
 /// Runs the asynchronous variant of Algorithm 1 (Theorem 3.4).

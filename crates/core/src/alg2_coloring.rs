@@ -21,6 +21,7 @@ use symbreak_graphs::{properties, Graph, IdAssignment, NodeId};
 use symbreak_ktrand::{tail, KWiseHash, SharedRandomness};
 
 use crate::error::CoreError;
+use crate::stage_flat::StagePipeline;
 
 const TAG_QUERY: u16 = 0x60;
 const TAG_RESPONSE: u16 = 0x61;
@@ -35,6 +36,11 @@ pub struct Alg2Config {
     pub delta: f64,
     /// Safety factor on the `O(log n / ε)` phase budget.
     pub phase_budget_factor: f64,
+    /// Which phase runtime to use (outputs are bit-identical either way;
+    /// `Nested` is the retained per-node-allocation baseline).
+    pub pipeline: StagePipeline,
+    /// Worker threads for the simulated phases (`0` = automatic).
+    pub threads: usize,
 }
 
 impl Default for Alg2Config {
@@ -43,6 +49,8 @@ impl Default for Alg2Config {
             epsilon: 0.5,
             delta: 0.0,
             phase_budget_factor: 12.0,
+            pipeline: StagePipeline::Flat,
+            threads: 0,
         }
     }
 }
@@ -60,6 +68,10 @@ pub struct Alg2Outcome {
     pub max_degree: u64,
 }
 
+/// The retained nested-baseline automaton: every node clones the shared
+/// randomness, collects its own `Vec` of neighbour IDs and derives every
+/// phase hash privately (n copies of identical `O(log n)`-coefficient
+/// derivations).
 struct Alg2Node {
     own_id: u64,
     color: Option<u64>,
@@ -164,8 +176,97 @@ impl NodeAlgorithm for Alg2Node {
     }
 }
 
+/// The flat automaton: the phase hashes (identical at every node — they are
+/// pure functions of the shared randomness) are derived once by the caller
+/// and borrowed, and each node borrows its row of one flat neighbour-ID
+/// arena. Message behaviour is bit-identical to [`Alg2Node`].
+struct FlatAlg2Node<'a> {
+    own_id: u64,
+    color: Option<u64>,
+    neighbor_ids: &'a [(NodeId, u64)],
+    hashes: &'a [KWiseHash],
+    phase: usize,
+    max_phases: usize,
+    candidate: Option<u64>,
+}
+
+impl FlatAlg2Node<'_> {
+    fn respond(&self, ctx: &mut RoundContext<'_>, inbox: &[Message], phase: usize) {
+        for msg in inbox {
+            if msg.tag() != TAG_QUERY {
+                continue;
+            }
+            let c = msg.values()[0];
+            let sender_id = msg.ids()[0];
+            let Some(sender) = ctx.knowledge().known_node_with_id(sender_id) else {
+                continue;
+            };
+            // `phase < max_phases` whenever queries are in flight: a query
+            // in round 3p+1 was sent by a node whose phase counter equals p
+            // and passed the `phase < max_phases` send gate.
+            let proposes_c_with_priority = self.color.is_none()
+                && self.hashes[phase].eval(self.own_id) == c
+                && self.own_id < sender_id;
+            let taken = u64::from(self.color == Some(c) || proposes_c_with_priority);
+            ctx.send(
+                sender,
+                Message::tagged(TAG_RESPONSE)
+                    .with_value(c)
+                    .with_value(taken),
+            );
+        }
+    }
+}
+
+impl NodeAlgorithm for FlatAlg2Node<'_> {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        let phase = (ctx.round() / 3) as usize;
+        match ctx.round() % 3 {
+            0 => {
+                if self.color.is_none() && self.phase < self.max_phases {
+                    let c = self.hashes[phase].eval(self.own_id);
+                    self.candidate = Some(c);
+                    let query = Message::tagged(TAG_QUERY)
+                        .with_value(c)
+                        .with_id(self.own_id);
+                    for &(u, uid) in self.neighbor_ids {
+                        let could = self.hashes[..=phase].iter().any(|h| h.eval(uid) == c);
+                        if could {
+                            ctx.send(u, query);
+                        }
+                    }
+                }
+            }
+            1 => {
+                self.respond(ctx, inbox, phase);
+            }
+            _ => {
+                if let Some(c) = self.candidate.take() {
+                    let blocked = inbox.iter().any(|m| {
+                        m.tag() == TAG_RESPONSE && m.values()[0] == c && m.values()[1] == 1
+                    });
+                    if !blocked {
+                        self.color = Some(c);
+                    }
+                    self.phase += 1;
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.color.is_some() || self.phase >= self.max_phases
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.color
+    }
+}
+
 /// Runs the Algorithm 2 colouring phases given already-distributed shared
 /// randomness and a known Δ. Exposed separately so ablations can reuse it.
+/// Uses the flat runtime; see [`run_phases_nested`] for the retained
+/// baseline (bit-identical outputs).
 pub fn run_phases(
     graph: &Graph,
     ids: &IdAssignment,
@@ -173,23 +274,90 @@ pub fn run_phases(
     palette_size: u64,
     max_phases: usize,
 ) -> (Vec<Option<u64>>, ExecutionReport) {
+    run_phases_config(
+        graph,
+        ids,
+        shared,
+        palette_size,
+        max_phases,
+        SyncConfig::default(),
+        StagePipeline::Flat,
+    )
+}
+
+/// [`run_phases`] on the retained nested baseline.
+pub fn run_phases_nested(
+    graph: &Graph,
+    ids: &IdAssignment,
+    shared: &SharedRandomness,
+    palette_size: u64,
+    max_phases: usize,
+) -> (Vec<Option<u64>>, ExecutionReport) {
+    run_phases_config(
+        graph,
+        ids,
+        shared,
+        palette_size,
+        max_phases,
+        SyncConfig::default(),
+        StagePipeline::Nested,
+    )
+}
+
+fn run_phases_config(
+    graph: &Graph,
+    ids: &IdAssignment,
+    shared: &SharedRandomness,
+    palette_size: u64,
+    max_phases: usize,
+    config: SyncConfig,
+    pipeline: StagePipeline,
+) -> (Vec<Option<u64>>, ExecutionReport) {
     let n = graph.num_nodes();
     let independence = tail::log_n_independence(n);
     let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
-    let report = sim.run(SyncConfig::default(), |init| Alg2Node {
-        own_id: init.knowledge.own_id(),
-        color: None,
-        neighbor_ids: init.knowledge.neighbor_ids(),
-        shared: shared.clone(),
-        palette_size,
-        independence,
-        hashes: Vec::new(),
-        phase: 0,
-        max_phases,
-        candidate: None,
-    });
-    assert!(report.completed, "Algorithm 2 phases did not quiesce");
-    (report.outputs.clone(), report)
+    match pipeline {
+        StagePipeline::Flat => {
+            // Derive every phase hash once (on a throwaway clone so the
+            // caller's bit-consumption accounting matches the nested path,
+            // where each node derives from its own clone); the flat
+            // neighbour-ID table is a history-free `QueryPlan`, whose CSR
+            // rows are exactly the per-node `(address, ID)` slices needed.
+            let scratch = shared.clone();
+            let hashes: Vec<KWiseHash> = (0..max_phases)
+                .map(|j| scratch.indexed_hash_fn("alg2.phase", j, independence, palette_size))
+                .collect();
+            let neighbor_table = crate::query_coloring::QueryPlan::new(graph, ids, Vec::new());
+            let mut report = sim.run(config, |init| FlatAlg2Node {
+                own_id: init.knowledge.own_id(),
+                color: None,
+                neighbor_ids: neighbor_table.neighbor_row(init.node),
+                hashes: &hashes,
+                phase: 0,
+                max_phases,
+                candidate: None,
+            });
+            assert!(report.completed, "Algorithm 2 phases did not quiesce");
+            let colors = std::mem::take(&mut report.outputs);
+            (colors, report)
+        }
+        StagePipeline::Nested => {
+            let report = sim.run(config, |init| Alg2Node {
+                own_id: init.knowledge.own_id(),
+                color: None,
+                neighbor_ids: init.knowledge.neighbor_ids(),
+                shared: shared.clone(),
+                palette_size,
+                independence,
+                hashes: Vec::new(),
+                phase: 0,
+                max_phases,
+                candidate: None,
+            });
+            assert!(report.completed, "Algorithm 2 phases did not quiesce");
+            (report.outputs.clone(), report)
+        }
+    }
 }
 
 /// Runs Algorithm 2 end to end on a connected graph.
@@ -248,7 +416,15 @@ pub fn run<R: Rng + ?Sized>(
     let max_phases =
         ((config.phase_budget_factor * log_n / config.epsilon.min(1.0)).ceil() as usize).max(8);
 
-    let (colors, report) = run_phases(graph, ids, &shared, palette_size, max_phases);
+    let (colors, report) = run_phases_config(
+        graph,
+        ids,
+        &shared,
+        palette_size,
+        max_phases,
+        SyncConfig::default().with_threads(config.threads),
+        config.pipeline,
+    );
     costs.charge_report("colour trial phases", &report);
 
     if colors.iter().any(Option::is_none) {

@@ -19,10 +19,11 @@ use rand::Rng;
 use symbreak_congest::{
     CostAccount, KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
 };
-use symbreak_graphs::{Graph, IdAssignment, NodeId};
+use symbreak_graphs::{AdjacencyArena, Graph, IdAssignment, NodeId};
 use symbreak_ktrand::sampling;
 
 use crate::error::CoreError;
+use crate::stage_flat::StagePipeline;
 
 const TAG_MEMBER: u16 = 0x70;
 const TAG_JOIN: u16 = 0x71;
@@ -36,6 +37,12 @@ pub struct Alg3Config {
     pub sample_coefficient: f64,
     /// Seed for the private per-node randomness of the Luby stage.
     pub luby_seed: u64,
+    /// Which active-list representation the greedy-MIS and Luby stages use
+    /// (outputs are bit-identical either way; `Nested` is the retained
+    /// per-node `Vec<Vec<NodeId>>` baseline).
+    pub pipeline: StagePipeline,
+    /// Worker threads for the simulated stages (`0` = automatic).
+    pub threads: usize,
 }
 
 impl Default for Alg3Config {
@@ -43,6 +50,8 @@ impl Default for Alg3Config {
         Alg3Config {
             sample_coefficient: 1.0,
             luby_seed: 0x3_5eed,
+            pipeline: StagePipeline::Flat,
+            threads: 0,
         }
     }
 }
@@ -178,6 +187,7 @@ pub fn run<R: Rng + ?Sized>(
         });
     }
     let mut costs = CostAccount::new();
+    let stage_config = SyncConfig::default().with_threads(config.threads);
 
     // Step 1: sample S and draw ranks with private coins.
     let p = (config.sample_coefficient / (n as f64).sqrt()).min(1.0);
@@ -190,7 +200,7 @@ pub fn run<R: Rng + ?Sized>(
 
     // Step 2a: S-nodes announce membership and rank to all neighbours.
     let sim = SyncSimulator::new(graph, ids, KtLevel::KT2);
-    let report = sim.run(SyncConfig::default(), |init| AnnounceNode {
+    let report = sim.run(stage_config, |init| AnnounceNode {
         in_sample: in_sample[init.node.index()],
         rank: ranks[init.node.index()],
         heard: 0,
@@ -198,34 +208,54 @@ pub fn run<R: Rng + ?Sized>(
     costs.charge_report("S announces membership + rank", &report);
 
     // Step 2b: parallel randomized greedy MIS on G[S]. The active lists are
-    // the S-neighbours each node just learned about.
-    let s_neighbors: Vec<Vec<NodeId>> = graph
-        .nodes()
-        .map(|v| {
-            if in_sample[v.index()] {
-                graph
-                    .neighbors(v)
-                    .filter(|u| in_sample[u.index()])
-                    .collect()
-            } else {
-                Vec::new()
-            }
-        })
-        .collect();
-    let (greedy_mis, report) = symbreak_classic::mis::parallel_greedy::run(
-        graph,
-        ids,
-        KtLevel::KT2,
-        &in_sample,
-        &ranks,
-        &s_neighbors,
-        SyncConfig::default(),
-    );
+    // the S-neighbours each node just learned about — on the flat pipeline
+    // one CSR arena built in a single pass over the graph's rows, on the
+    // nested baseline one Vec per node.
+    let (greedy_mis, report) = match config.pipeline {
+        StagePipeline::Flat => {
+            let s_neighbors = AdjacencyArena::from_filtered(graph, |v, u| {
+                in_sample[v.index()] && in_sample[u.index()]
+            });
+            symbreak_classic::mis::parallel_greedy::run_arena(
+                graph,
+                ids,
+                KtLevel::KT2,
+                &in_sample,
+                &ranks,
+                &s_neighbors,
+                stage_config,
+            )
+        }
+        StagePipeline::Nested => {
+            let s_neighbors: Vec<Vec<NodeId>> = graph
+                .nodes()
+                .map(|v| {
+                    if in_sample[v.index()] {
+                        graph
+                            .neighbors(v)
+                            .filter(|u| in_sample[u.index()])
+                            .collect()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            symbreak_classic::mis::parallel_greedy::run(
+                graph,
+                ids,
+                KtLevel::KT2,
+                &in_sample,
+                &ranks,
+                &s_neighbors,
+                stage_config,
+            )
+        }
+    };
     costs.charge_report("parallel greedy MIS on G[S]", &report);
 
     // Step 3: MIS members of S inform their 2-hop neighbourhoods.
     let sim = SyncSimulator::new(graph, ids, KtLevel::KT2);
-    let report = sim.run(SyncConfig::default(), |init| InformNode {
+    let report = sim.run(stage_config, |init| InformNode {
         in_mis_s: greedy_mis[init.node.index()],
         informed: 0,
     });
@@ -239,31 +269,52 @@ pub fn run<R: Rng + ?Sized>(
         .map(|v| greedy_mis[v.index()] || graph.neighbors(v).any(|u| greedy_mis[u.index()]))
         .collect();
     let undecided: Vec<bool> = graph.nodes().map(|v| !dominated[v.index()]).collect();
-    let remnant_neighbors: Vec<Vec<NodeId>> = graph
-        .nodes()
-        .map(|v| {
-            if undecided[v.index()] {
-                graph
-                    .neighbors(v)
-                    .filter(|u| undecided[u.index()])
-                    .collect()
-            } else {
-                Vec::new()
-            }
-        })
-        .collect();
-    let remnant_max_degree = remnant_neighbors.iter().map(Vec::len).max().unwrap_or(0);
 
     // Step 5: Luby's algorithm on the remnant graph.
-    let (luby_mis, report) = symbreak_classic::mis::luby::run_restricted(
-        graph,
-        ids,
-        KtLevel::KT2,
-        &undecided,
-        &remnant_neighbors,
-        config.luby_seed,
-        SyncConfig::default(),
-    );
+    let (remnant_max_degree, (luby_mis, report)) = match config.pipeline {
+        StagePipeline::Flat => {
+            let remnant = AdjacencyArena::from_filtered(graph, |v, u| {
+                undecided[v.index()] && undecided[u.index()]
+            });
+            let max_deg = graph.nodes().map(|v| remnant.row_len(v)).max().unwrap_or(0);
+            let out = symbreak_classic::mis::luby::run_restricted_arena(
+                graph,
+                ids,
+                KtLevel::KT2,
+                &undecided,
+                &remnant,
+                config.luby_seed,
+                stage_config,
+            );
+            (max_deg, out)
+        }
+        StagePipeline::Nested => {
+            let remnant_neighbors: Vec<Vec<NodeId>> = graph
+                .nodes()
+                .map(|v| {
+                    if undecided[v.index()] {
+                        graph
+                            .neighbors(v)
+                            .filter(|u| undecided[u.index()])
+                            .collect()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            let max_deg = remnant_neighbors.iter().map(Vec::len).max().unwrap_or(0);
+            let out = symbreak_classic::mis::luby::run_restricted(
+                graph,
+                ids,
+                KtLevel::KT2,
+                &undecided,
+                &remnant_neighbors,
+                config.luby_seed,
+                stage_config,
+            );
+            (max_deg, out)
+        }
+    };
     costs.charge_report("Luby on remnant graph", &report);
 
     let in_mis: Vec<bool> = graph

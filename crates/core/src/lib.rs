@@ -15,6 +15,11 @@
 //!   (Theorem 4.1).
 //! * [`partition`] — the Chang et al. vertex/palette partition evaluated
 //!   from shared randomness with Θ(log n)-wise independence (Lemma 3.1).
+//! * [`stage_flat`] — the flat stage pipeline (arena-backed stage specs,
+//!   bitset palettes, borrow-threaded stage runtime) the algorithms run on
+//!   by default; the nested-`Vec` pipeline in [`query_coloring`] is retained
+//!   as the differential oracle and bench baseline
+//!   ([`StagePipeline::Nested`]).
 //! * [`experiments`] / [`report`] — the measurement harness used by the
 //!   benches and by `EXPERIMENTS.md`.
 //!
@@ -46,9 +51,11 @@ pub mod experiments;
 pub mod partition;
 pub mod query_coloring;
 pub mod report;
+pub mod stage_flat;
 
 pub use alg1_coloring::{Alg1Config, ColoringOutcome};
 pub use alg2_coloring::{Alg2Config, Alg2Outcome};
 pub use alg3_mis::{Alg3Config, MisOutcome};
 pub use error::CoreError;
 pub use report::{MeasurementRow, MeasurementTable};
+pub use stage_flat::{FlatStageSpec, StagePipeline};

@@ -43,11 +43,20 @@ pub const TAG_RESPONSE: u16 = 0x53;
 
 /// Shared lookup structure for query targets: which neighbours of a node
 /// could hold a given colour, according to the partition history.
+///
+/// The neighbour table is stored flat (CSR-style offsets into one
+/// `(address, ID)` array, mirroring [`Graph`]'s own layout) and is built
+/// **once** per algorithm run: Algorithm 1 appends each level's partition
+/// with [`QueryPlan::push_level`] behind its `Arc` instead of rebuilding the
+/// whole plan — and re-copying the `Θ(m)` neighbour table — every level.
 #[derive(Debug, Clone)]
 pub struct QueryPlan {
-    /// `neighbor_ids[v]` — the `(address, ID)` pairs of `v`'s neighbours
-    /// (known in KT-1).
-    neighbor_ids: Vec<Vec<(NodeId, u64)>>,
+    /// CSR offsets: `v`'s neighbour pairs occupy
+    /// `neighbor_ids[offsets[v] as usize .. offsets[v + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// The `(address, ID)` pairs of every node's neighbours (known in KT-1),
+    /// flattened into one allocation.
+    neighbor_ids: Vec<(NodeId, u64)>,
     /// The vertex/palette partitions of all *earlier* levels.
     history: Vec<ChangPartition>,
 }
@@ -56,25 +65,59 @@ impl QueryPlan {
     /// Builds a plan from the graph, the ID assignment and the partition
     /// history of earlier levels.
     pub fn new(graph: &Graph, ids: &IdAssignment, history: Vec<ChangPartition>) -> Self {
-        let neighbor_ids = graph
-            .nodes()
-            .map(|v| graph.neighbors(v).map(|u| (u, ids.id_of(u))).collect())
-            .collect();
+        let n = graph.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbor_ids = Vec::with_capacity(graph.degree_sum());
+        offsets.push(0u32);
+        for v in graph.nodes() {
+            neighbor_ids.extend(graph.neighbors(v).map(|u| (u, ids.id_of(u))));
+            offsets.push(neighbor_ids.len() as u32);
+        }
         QueryPlan {
+            offsets,
             neighbor_ids,
             history,
         }
+    }
+
+    /// Appends one finished level's partition to the history. Algorithm 1
+    /// calls this between stages through [`std::sync::Arc::get_mut`] (the
+    /// stage spec's clone of the `Arc` has been dropped by then), so the
+    /// neighbour table is shared across all levels.
+    pub fn push_level(&mut self, partition: ChangPartition) {
+        self.history.push(partition);
+    }
+
+    /// The `(address, ID)` pairs of `v`'s neighbours. Algorithm 2's flat
+    /// phase runtime borrows these rows directly instead of flattening the
+    /// neighbour table a second time.
+    #[inline]
+    pub(crate) fn neighbor_row(&self, v: NodeId) -> &[(NodeId, u64)] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.neighbor_ids[lo..hi]
     }
 
     /// The neighbours of `v` that could hold colour `c` after the earlier
     /// levels, i.e. whose ID was hashed into the bucket owning `c` in some
     /// earlier level.
     pub fn targets(&self, v: NodeId, c: u64) -> Vec<NodeId> {
-        self.neighbor_ids[v.index()]
-            .iter()
-            .filter(|(_, id)| self.history.iter().any(|p| p.id_could_hold_color(*id, c)))
-            .map(|(u, _)| *u)
-            .collect()
+        let mut out = Vec::new();
+        self.append_targets(v, c, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`QueryPlan::targets`]: clears `out` and
+    /// fills it with the targets, so per-node scratch buffers can be reused
+    /// across phases.
+    pub fn append_targets(&self, v: NodeId, c: u64, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            self.neighbor_row(v)
+                .iter()
+                .filter(|(_, id)| self.history.iter().any(|p| p.id_could_hold_color(*id, c)))
+                .map(|(u, _)| *u),
+        );
     }
 
     /// Number of earlier levels recorded in the plan.
@@ -83,7 +126,15 @@ impl QueryPlan {
     }
 }
 
-/// Specification of one coloring stage.
+/// Specification of one coloring stage — the **retained nested-`Vec`
+/// baseline**.
+///
+/// The hot path uses [`crate::stage_flat::FlatStageSpec`] /
+/// [`crate::stage_flat::run_stage_flat`] instead: palettes as fixed-width
+/// bitsets, active lists in one CSR arena, and the spec borrowed (not
+/// cloned) into the nodes. This nested form is kept as the differential
+/// oracle (`tests/stage_flat_equivalence.rs`) and the bench baseline the
+/// flat pipeline's speedup is measured against.
 #[derive(Debug, Clone)]
 pub struct StageSpec {
     /// Which nodes are to be coloured in this stage.

@@ -1,0 +1,539 @@
+//! The flat stage pipeline: arena-backed stage specs and the borrow-threaded
+//! stage runtime.
+//!
+//! PR 1–2 made the round *engine* allocation-frugal; this module gives the
+//! paper's algorithm layer the same treatment. A [`FlatStageSpec`] replaces
+//! the nested [`StageSpec`](crate::query_coloring::StageSpec)'s
+//! `Vec<Vec<u64>>` palettes and `Vec<Vec<NodeId>>` active lists with
+//!
+//! * **bitset palettes** ([`PaletteBitsets`]): one flat word array, one
+//!   distinct palette row computed per *bucket* (not per node) and blitted
+//!   into each member's row — striking a colour is an O(1) bit clear and a
+//!   random free-colour draw is an O(words) select;
+//! * **CSR active lists** ([`AdjacencyArena`]): one offsets array plus one
+//!   flat values array, filled in a single pass over the graph's own CSR
+//!   rows — two allocations where the nested builder made `2n`;
+//! * **borrowed stage state**: [`run_stage_flat`] threads the spec into the
+//!   per-node automata by reference (the plan by `Arc`), so stage setup no
+//!   longer clones `existing_colors`, per-node palettes or active lists —
+//!   the nested path's per-level cost was `O(n·Δ)` allocations before a
+//!   single round ran.
+//!
+//! Palette rows enumerate colours ascending, exactly the order the nested
+//! builders list them, and both runtimes consume identical per-node RNG
+//! streams — so flat and nested stages produce **bit-identical** colours,
+//! round counts and cost reports (asserted across algorithms, seeds and
+//! thread counts by `tests/stage_flat_equivalence.rs`).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use symbreak_classic::coloring::palette::{self, PaletteBitsets};
+use symbreak_congest::{
+    ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
+};
+use symbreak_graphs::{AdjacencyArena, Graph, IdAssignment, NodeId};
+
+use crate::partition::{ChangPartition, Part};
+use crate::query_coloring::{
+    QueryPlan, StageSpec, TAG_FINAL, TAG_PROPOSE, TAG_QUERY, TAG_RESPONSE,
+};
+
+/// Which stage runtime an algorithm drives its coloring/MIS stages through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StagePipeline {
+    /// The arena/bitset pipeline (the default hot path).
+    #[default]
+    Flat,
+    /// The retained nested-`Vec` pipeline — differential oracle and bench
+    /// baseline; bit-identical outputs to [`StagePipeline::Flat`].
+    Nested,
+}
+
+/// Flat specification of one conflict-aware coloring stage. Borrows the
+/// current colour vector instead of cloning it; build one per stage with
+/// [`FlatStageSpec::for_bucket_level`], [`FlatStageSpec::for_final_stage`]
+/// or (in tests/benches) [`FlatStageSpec::from_nested`].
+#[derive(Debug, Clone)]
+pub struct FlatStageSpec<'a> {
+    participating: Vec<bool>,
+    palettes: PaletteBitsets,
+    active: AdjacencyArena,
+    existing_colors: &'a [Option<u64>],
+    plan: Arc<QueryPlan>,
+    phase_limit: usize,
+}
+
+impl<'a> FlatStageSpec<'a> {
+    /// Builds the level-stage spec of Algorithm 1: every uncoloured node in
+    /// a bucket participates, its palette is its bucket's palette share, and
+    /// its active list is its same-bucket participating neighbours.
+    ///
+    /// Each bucket's palette row is computed once (`O(palette_size)` total)
+    /// and blitted per node; the nested builder recomputed the bucket
+    /// palette from scratch for every node.
+    pub fn for_bucket_level(
+        graph: &Graph,
+        partition: &ChangPartition,
+        parts: &[Part],
+        colors: &'a [Option<u64>],
+        palette_size: u64,
+        plan: Arc<QueryPlan>,
+        phase_limit: usize,
+    ) -> Self {
+        let n = graph.num_nodes();
+        assert_eq!(parts.len(), n);
+        assert_eq!(colors.len(), n);
+        let participating: Vec<bool> = (0..n)
+            .map(|i| colors[i].is_none() && matches!(parts[i], Part::Bucket(_)))
+            .collect();
+        let words = palette::words_for(palette_size);
+        let k = partition.num_buckets();
+        let mut bucket_rows = vec![0u64; k * words];
+        let mut bucket_counts = vec![0u32; k];
+        for c in 0..palette_size {
+            let b = partition.bucket_of_color(c);
+            bucket_rows[b * words + (c / 64) as usize] |= 1 << (c % 64);
+            bucket_counts[b] += 1;
+        }
+        let mut palettes = PaletteBitsets::new(n, palette_size);
+        for i in 0..n {
+            if let (true, Part::Bucket(b)) = (participating[i], parts[i]) {
+                palettes.set_row(
+                    i,
+                    &bucket_rows[b * words..(b + 1) * words],
+                    bucket_counts[b],
+                );
+            }
+        }
+        let active = AdjacencyArena::from_filtered(graph, |v, u| {
+            participating[v.index()]
+                && participating[u.index()]
+                && parts[u.index()] == parts[v.index()]
+        });
+        FlatStageSpec {
+            participating,
+            palettes,
+            active,
+            existing_colors: colors,
+            plan,
+            phase_limit,
+        }
+    }
+
+    /// Builds the final-stage spec of Algorithm 1: every still-uncoloured
+    /// node participates with the full `{0, …, palette_size − 1}` palette,
+    /// active towards its uncoloured neighbours.
+    pub fn for_final_stage(
+        graph: &Graph,
+        colors: &'a [Option<u64>],
+        palette_size: u64,
+        plan: Arc<QueryPlan>,
+        phase_limit: usize,
+    ) -> Self {
+        let n = graph.num_nodes();
+        assert_eq!(colors.len(), n);
+        let participating: Vec<bool> = colors.iter().map(Option::is_none).collect();
+        let full_row = palette::full_row(palette_size);
+        let mut palettes = PaletteBitsets::new(n, palette_size);
+        for (i, &p) in participating.iter().enumerate() {
+            if p {
+                palettes.set_row(i, &full_row, palette_size as u32);
+            }
+        }
+        let active = AdjacencyArena::from_filtered(graph, |v, u| {
+            participating[v.index()] && participating[u.index()]
+        });
+        FlatStageSpec {
+            participating,
+            palettes,
+            active,
+            existing_colors: colors,
+            plan,
+            phase_limit,
+        }
+    }
+
+    /// Flattens a nested [`StageSpec`] (differential suite and bench
+    /// baseline interleave). Palette lists must be sorted ascending and
+    /// duplicate-free for the two runtimes to be bit-identical — every
+    /// builder in the workspace produces such lists; checked in debug
+    /// builds.
+    pub fn from_nested(nested: &'a StageSpec) -> Self {
+        debug_assert!(nested
+            .palettes
+            .iter()
+            .all(|list| list.windows(2).all(|w| w[0] < w[1])));
+        FlatStageSpec {
+            participating: nested.participating.clone(),
+            palettes: PaletteBitsets::from_lists(&nested.palettes),
+            active: AdjacencyArena::from_rows(&nested.active),
+            existing_colors: &nested.existing_colors,
+            plan: Arc::clone(&nested.plan),
+            phase_limit: nested.phase_limit,
+        }
+    }
+
+    /// Whether node `i` participates in this stage.
+    pub fn is_participating(&self, i: usize) -> bool {
+        self.participating[i]
+    }
+
+    /// The stage palettes (bitset form).
+    pub fn palettes(&self) -> &PaletteBitsets {
+        &self.palettes
+    }
+
+    /// The active lists (CSR form).
+    pub fn active(&self) -> &AdjacencyArena {
+        &self.active
+    }
+}
+
+/// Per-node state of the flat stage runtime. The spec is borrowed — the only
+/// per-node allocations are the small `taken` bitset and the reusable
+/// query-target scratch buffer.
+struct FlatStageNode<'s> {
+    spec: &'s FlatStageSpec<'s>,
+    me: NodeId,
+    own_id: u64,
+    color: Option<u64>,
+    /// Colours known to be taken (same width as the palette rows); the free
+    /// candidates are `palette & !taken`.
+    taken: Vec<u64>,
+    candidate: Option<u64>,
+    conflict: bool,
+    phase_limit: usize,
+    failed_phases: usize,
+    gave_up: bool,
+    rng: StdRng,
+    /// Scratch for query targets, reused across phases.
+    targets: Vec<NodeId>,
+}
+
+impl FlatStageNode<'_> {
+    fn mark_taken(&mut self, c: u64) {
+        // Colours outside the stage domain can never be candidates, so
+        // ignoring them preserves bit-identical behaviour with the nested
+        // runtime's unbounded `BTreeSet`.
+        let k = (c / 64) as usize;
+        if k < self.taken.len() {
+            self.taken[k] |= 1 << (c % 64);
+        }
+    }
+
+    fn choose_candidate(&mut self) -> Option<u64> {
+        let row = self.spec.palettes.row(self.me.index());
+        let free = palette::masked_count(row, &self.taken) as usize;
+        if free == 0 {
+            None
+        } else {
+            // Same draw as the nested runtime: `gen_range` over the free
+            // count, then the r-th free colour ascending.
+            let r = self.rng.gen_range(0..free);
+            Some(palette::masked_nth(row, &self.taken, r as u32))
+        }
+    }
+
+    fn active_row(&self) -> &[NodeId] {
+        self.spec.active.row(self.me)
+    }
+
+    fn send_active(&self, ctx: &mut RoundContext<'_>, msg: &Message) {
+        for &u in self.active_row() {
+            ctx.send(u, *msg);
+        }
+    }
+
+    fn respond_to_queries(&self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        for msg in inbox {
+            if msg.tag() != TAG_QUERY {
+                continue;
+            }
+            let c = msg.values()[0];
+            let sender_id = msg.ids()[0];
+            let Some(sender) = ctx.knowledge().known_node_with_id(sender_id) else {
+                continue;
+            };
+            let taken = u64::from(self.color == Some(c));
+            ctx.send(
+                sender,
+                Message::tagged(TAG_RESPONSE)
+                    .with_value(c)
+                    .with_value(taken),
+            );
+        }
+    }
+
+    fn wants_color(&self) -> bool {
+        self.spec.participating[self.me.index()] && self.color.is_none() && !self.gave_up
+    }
+}
+
+impl NodeAlgorithm for FlatStageNode<'_> {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        match ctx.round() % 3 {
+            0 => {
+                // Digest FINAL announcements from the previous phase.
+                for msg in inbox {
+                    if msg.tag() == TAG_FINAL {
+                        self.mark_taken(msg.values()[0]);
+                    }
+                }
+                if self.wants_color() {
+                    match self.choose_candidate() {
+                        Some(c) => {
+                            self.candidate = Some(c);
+                            self.conflict = false;
+                            self.send_active(ctx, &Message::tagged(TAG_PROPOSE).with_value(c));
+                            let query = Message::tagged(TAG_QUERY)
+                                .with_value(c)
+                                .with_id(self.own_id);
+                            let mut targets = std::mem::take(&mut self.targets);
+                            self.spec.plan.append_targets(self.me, c, &mut targets);
+                            let active = self.active_row();
+                            for &u in &targets {
+                                if active.binary_search(&u).is_err() {
+                                    ctx.send(u, query);
+                                }
+                            }
+                            self.targets = targets;
+                        }
+                        None => {
+                            self.candidate = None;
+                            self.failed_phases += 1;
+                            if self.failed_phases >= self.phase_limit {
+                                self.gave_up = true;
+                            }
+                        }
+                    }
+                }
+            }
+            1 => {
+                // Answer queries and note same-stage proposal conflicts.
+                self.respond_to_queries(ctx, inbox);
+                if let Some(c) = self.candidate {
+                    if inbox
+                        .iter()
+                        .any(|m| m.tag() == TAG_PROPOSE && m.values()[0] == c)
+                    {
+                        self.conflict = true;
+                    }
+                }
+            }
+            _ => {
+                // Fold in query responses and decide.
+                if let Some(c) = self.candidate.take() {
+                    for msg in inbox {
+                        if msg.tag() == TAG_RESPONSE && msg.values()[1] == 1 {
+                            self.mark_taken(msg.values()[0]);
+                            if msg.values()[0] == c {
+                                self.conflict = true;
+                            }
+                        }
+                    }
+                    if self.conflict {
+                        self.failed_phases += 1;
+                        if self.failed_phases >= self.phase_limit {
+                            self.gave_up = true;
+                        }
+                    } else {
+                        self.color = Some(c);
+                        self.send_active(ctx, &Message::tagged(TAG_FINAL).with_value(c));
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        !self.wants_color()
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.color
+    }
+}
+
+/// Runs one conflict-aware coloring stage on the flat pipeline and returns
+/// the updated colour of every node (existing colours preserved; newly
+/// coloured participants get their stage colour; participants that gave up
+/// stay `None`). Bit-identical to
+/// [`run_stage`](crate::query_coloring::run_stage) on the equivalent nested
+/// spec; the returned colours are **moved** out of the report (whose
+/// `outputs` field is left empty) instead of cloned.
+///
+/// # Panics
+///
+/// Panics if the stage fails to quiesce within the round limit.
+pub fn run_stage_flat(
+    graph: &Graph,
+    ids: &IdAssignment,
+    spec: &FlatStageSpec<'_>,
+    seed: u64,
+    config: SyncConfig,
+) -> (Vec<Option<u64>>, ExecutionReport) {
+    let n = graph.num_nodes();
+    assert_eq!(spec.participating.len(), n);
+    assert_eq!(spec.existing_colors.len(), n);
+    assert_eq!(spec.active.num_nodes(), n);
+    let words = spec.palettes.words_per_node();
+    let phase_limit = spec.phase_limit.max(1);
+    let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+    let mut report = sim.run(config, |init| {
+        let i = init.node.index();
+        FlatStageNode {
+            spec,
+            me: init.node,
+            own_id: init.knowledge.own_id(),
+            color: spec.existing_colors[i],
+            taken: vec![0; words],
+            candidate: None,
+            conflict: false,
+            phase_limit,
+            failed_phases: 0,
+            gave_up: false,
+            rng: StdRng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642fu64.wrapping_mul(i as u64 + 1)),
+            targets: Vec::new(),
+        }
+    });
+    assert!(report.completed, "coloring stage did not quiesce");
+    let colors = std::mem::take(&mut report.outputs);
+    (colors, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_coloring::run_stage;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symbreak_graphs::generators;
+    use symbreak_ktrand::SharedRandomness;
+
+    fn empty_plan(graph: &Graph, ids: &IdAssignment) -> Arc<QueryPlan> {
+        Arc::new(QueryPlan::new(graph, ids, Vec::new()))
+    }
+
+    #[test]
+    fn flat_stage_colors_whole_graph_like_johansson() {
+        let g = generators::clique(12);
+        let ids = IdAssignment::identity(12);
+        let colors_in = vec![None; 12];
+        let spec = FlatStageSpec::for_final_stage(&g, &colors_in, 12, empty_plan(&g, &ids), 200);
+        let (colors, report) = run_stage_flat(&g, &ids, &spec, 3, SyncConfig::default());
+        assert!(colors.iter().all(Option::is_some));
+        for (_, u, v) in g.edges() {
+            assert_ne!(colors[u.index()], colors[v.index()]);
+        }
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn flat_stage_is_bit_identical_to_nested_stage() {
+        // A clique with a partition history: exercises palettes, same-stage
+        // proposals and cross-stage queries on both pipelines.
+        let g = generators::clique(14);
+        let ids = IdAssignment::from_vec((0..14u64).map(|i| i * 37 + 5).collect());
+        let shared = SharedRandomness::from_seed(21, 2048);
+        let p0 = ChangPartition::compute(&shared, 0, 14, 13);
+        let parts = p0.parts_for(&ids);
+        let colors_in: Vec<Option<u64>> = vec![None; 14];
+        let plan = empty_plan(&g, &ids);
+
+        // Nested level spec, built exactly like Algorithm 1's nested path.
+        let participating: Vec<bool> = (0..14)
+            .map(|i| matches!(parts[i], Part::Bucket(_)))
+            .collect();
+        let palettes: Vec<Vec<u64>> = (0..14)
+            .map(|i| match parts[i] {
+                Part::Bucket(b) if participating[i] => p0.palette_of_bucket(14, b),
+                _ => Vec::new(),
+            })
+            .collect();
+        let active: Vec<Vec<NodeId>> = g
+            .nodes()
+            .map(|v| {
+                if !participating[v.index()] {
+                    return Vec::new();
+                }
+                g.neighbors(v)
+                    .filter(|u| participating[u.index()] && parts[u.index()] == parts[v.index()])
+                    .collect()
+            })
+            .collect();
+        let nested = StageSpec {
+            participating,
+            palettes,
+            active,
+            existing_colors: colors_in.clone(),
+            plan: Arc::clone(&plan),
+            phase_limit: 60,
+        };
+        let flat = FlatStageSpec::for_bucket_level(&g, &p0, &parts, &colors_in, 14, plan, 60);
+
+        for seed in [1u64, 9, 42] {
+            let (nc, nr) = run_stage(&g, &ids, &nested, seed, SyncConfig::default());
+            let (fc, fr) = run_stage_flat(&g, &ids, &flat, seed, SyncConfig::default());
+            assert_eq!(fc, nc, "seed {seed}");
+            assert_eq!(fr.messages, nr.messages, "seed {seed}");
+            assert_eq!(fr.rounds, nr.rounds, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn from_nested_matches_direct_builders() {
+        let g = generators::connected_gnp(24, 0.3, &mut StdRng::seed_from_u64(4));
+        let ids = IdAssignment::identity(24);
+        let mut colors_in: Vec<Option<u64>> = vec![None; 24];
+        colors_in[3] = Some(2);
+        let plan = empty_plan(&g, &ids);
+        let participating: Vec<bool> = colors_in.iter().map(Option::is_none).collect();
+        let nested = StageSpec {
+            participating: participating.clone(),
+            palettes: (0..24)
+                .map(|i| {
+                    if participating[i] {
+                        (0..=g.max_degree() as u64).collect()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect(),
+            active: g
+                .nodes()
+                .map(|v| {
+                    if !participating[v.index()] {
+                        return Vec::new();
+                    }
+                    g.neighbors(v)
+                        .filter(|u| participating[u.index()])
+                        .collect()
+                })
+                .collect(),
+            existing_colors: colors_in.clone(),
+            plan: Arc::clone(&plan),
+            phase_limit: 100,
+        };
+        let converted = FlatStageSpec::from_nested(&nested);
+        let direct =
+            FlatStageSpec::for_final_stage(&g, &colors_in, g.max_degree() as u64 + 1, plan, 100);
+        let (a, _) = run_stage_flat(&g, &ids, &converted, 8, SyncConfig::default());
+        let (b, _) = run_stage_flat(&g, &ids, &direct, 8, SyncConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(a[3], Some(2), "existing colours survive");
+    }
+
+    #[test]
+    fn empty_palette_participants_give_up_gracefully() {
+        let g = generators::path(2);
+        let ids = IdAssignment::identity(2);
+        let colors_in = vec![None, None];
+        // palette_size 0: participants have empty palettes.
+        let spec = FlatStageSpec::for_final_stage(&g, &colors_in, 0, empty_plan(&g, &ids), 3);
+        let (colors, report) = run_stage_flat(&g, &ids, &spec, 1, SyncConfig::default());
+        assert_eq!(colors, vec![None, None]);
+        assert!(report.completed);
+    }
+}

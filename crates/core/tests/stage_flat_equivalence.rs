@@ -1,0 +1,241 @@
+//! Differential suite for the flat stage pipeline: the arena/bitset runtime
+//! (`StagePipeline::Flat`) must produce **bit-identical** colours/MIS
+//! membership, per-phase message counts and round counts to the retained
+//! nested-`Vec` runtime (`StagePipeline::Nested`) — across Algorithms 1/2/3,
+//! multiple seeds and graph families, and at 1 and 4 stepping threads
+//! (`Alg*Config::threads`, the in-process equivalent of `CONGEST_THREADS`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symbreak_congest::CostAccount;
+use symbreak_core::{
+    alg1_coloring, alg2_coloring, alg3_mis, Alg1Config, Alg2Config, Alg3Config, StagePipeline,
+};
+use symbreak_graphs::{generators, Graph, IdAssignment, IdSpace};
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn instances(seed: u64) -> Vec<(String, Graph, IdAssignment)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gnp = generators::connected_gnp(90, 0.3, &mut rng);
+    let gnp_ids = IdAssignment::random(&gnp, IdSpace::CUBIC, &mut rng);
+    let dense = generators::connected_gnp(60, 0.8, &mut rng);
+    let dense_ids = IdAssignment::random(&dense, IdSpace::CUBIC, &mut rng);
+    let pl = generators::power_law(120, 3, &mut rng);
+    let pl_ids = IdAssignment::random(&pl, IdSpace::CUBIC, &mut rng);
+    vec![
+        (format!("gnp90@{seed}"), gnp, gnp_ids),
+        (format!("dense60@{seed}"), dense, dense_ids),
+        (format!("power_law120@{seed}"), pl, pl_ids),
+    ]
+}
+
+/// Phase-by-phase comparison: labels, simulated/charged messages and rounds
+/// must all agree (this is stronger than comparing totals — a phase that
+/// shifted work to another phase would be caught).
+fn assert_costs_identical(label: &str, flat: &CostAccount, nested: &CostAccount) {
+    let f: Vec<_> = flat.phases().collect();
+    let n: Vec<_> = nested.phases().collect();
+    assert_eq!(
+        f.len(),
+        n.len(),
+        "{label}: phase count {} vs {}",
+        f.len(),
+        n.len()
+    );
+    for ((fl, fc), (nl, nc)) in f.iter().zip(&n) {
+        assert_eq!(fl, nl, "{label}: phase label");
+        assert_eq!(fc, nc, "{label}: cost of phase {fl}");
+    }
+}
+
+#[test]
+fn alg1_flat_and_nested_pipelines_are_bit_identical() {
+    for seed in [3u64, 17] {
+        for (name, g, ids) in instances(seed) {
+            for threads in THREAD_COUNTS {
+                let base = Alg1Config {
+                    threads,
+                    ..Alg1Config::default()
+                };
+                let mut rng = StdRng::seed_from_u64(seed + 1000);
+                let flat = alg1_coloring::run(
+                    &g,
+                    &ids,
+                    Alg1Config {
+                        pipeline: StagePipeline::Flat,
+                        ..base
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+                let mut rng = StdRng::seed_from_u64(seed + 1000);
+                let nested = alg1_coloring::run(
+                    &g,
+                    &ids,
+                    Alg1Config {
+                        pipeline: StagePipeline::Nested,
+                        ..base
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+                let label = format!("alg1 {name} threads={threads}");
+                assert_eq!(flat.colors, nested.colors, "{label}");
+                assert_eq!(flat.levels_used, nested.levels_used, "{label}");
+                assert_eq!(flat.max_degree, nested.max_degree, "{label}");
+                assert_costs_identical(&label, &flat.costs, &nested.costs);
+            }
+        }
+    }
+}
+
+#[test]
+fn alg1_reports_are_thread_count_invariant_per_pipeline() {
+    // `threads` must never change outputs — for either pipeline.
+    let (name, g, ids) = instances(5).remove(0);
+    for pipeline in [StagePipeline::Flat, StagePipeline::Nested] {
+        let mut rng = StdRng::seed_from_u64(99);
+        let one = alg1_coloring::run(
+            &g,
+            &ids,
+            Alg1Config {
+                pipeline,
+                threads: 1,
+                ..Alg1Config::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let four = alg1_coloring::run(
+            &g,
+            &ids,
+            Alg1Config {
+                pipeline,
+                threads: 4,
+                ..Alg1Config::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(one.colors, four.colors, "{name} {pipeline:?}");
+        assert_costs_identical(&format!("{name} {pipeline:?}"), &one.costs, &four.costs);
+    }
+}
+
+#[test]
+fn alg2_flat_and_nested_pipelines_are_bit_identical() {
+    for seed in [7u64, 23] {
+        for (name, g, ids) in instances(seed) {
+            for threads in THREAD_COUNTS {
+                let mut rng = StdRng::seed_from_u64(seed + 2000);
+                let flat = alg2_coloring::run(
+                    &g,
+                    &ids,
+                    Alg2Config {
+                        pipeline: StagePipeline::Flat,
+                        threads,
+                        ..Alg2Config::default()
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+                let mut rng = StdRng::seed_from_u64(seed + 2000);
+                let nested = alg2_coloring::run(
+                    &g,
+                    &ids,
+                    Alg2Config {
+                        pipeline: StagePipeline::Nested,
+                        threads,
+                        ..Alg2Config::default()
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+                let label = format!("alg2 {name} threads={threads}");
+                assert_eq!(flat.colors, nested.colors, "{label}");
+                assert_eq!(flat.palette_size, nested.palette_size, "{label}");
+                assert_costs_identical(&label, &flat.costs, &nested.costs);
+            }
+        }
+    }
+}
+
+#[test]
+fn alg2_run_phases_variants_agree() {
+    use symbreak_ktrand::SharedRandomness;
+    let mut rng = StdRng::seed_from_u64(31);
+    let g = generators::connected_gnp(70, 0.4, &mut rng);
+    let ids = IdAssignment::random(&g, IdSpace::CUBIC, &mut rng);
+    let shared = SharedRandomness::from_seed(0xfeed, 1 << 14);
+    let palette_size = g.max_degree() as u64 * 3 / 2 + 1;
+    let (flat_colors, flat_report) = alg2_coloring::run_phases(&g, &ids, &shared, palette_size, 64);
+    let (nested_colors, nested_report) =
+        alg2_coloring::run_phases_nested(&g, &ids, &shared, palette_size, 64);
+    assert_eq!(flat_colors, nested_colors);
+    assert_eq!(flat_report.messages, nested_report.messages);
+    assert_eq!(flat_report.rounds, nested_report.rounds);
+}
+
+#[test]
+fn alg3_flat_and_nested_pipelines_are_bit_identical() {
+    for seed in [11u64, 29] {
+        for (name, g, ids) in instances(seed) {
+            for threads in THREAD_COUNTS {
+                let mut rng = StdRng::seed_from_u64(seed + 3000);
+                let flat = alg3_mis::run(
+                    &g,
+                    &ids,
+                    Alg3Config {
+                        pipeline: StagePipeline::Flat,
+                        threads,
+                        ..Alg3Config::default()
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+                let mut rng = StdRng::seed_from_u64(seed + 3000);
+                let nested = alg3_mis::run(
+                    &g,
+                    &ids,
+                    Alg3Config {
+                        pipeline: StagePipeline::Nested,
+                        threads,
+                        ..Alg3Config::default()
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+                let label = format!("alg3 {name} threads={threads}");
+                assert_eq!(flat.in_mis, nested.in_mis, "{label}");
+                assert_eq!(flat.sampled, nested.sampled, "{label}");
+                assert_eq!(
+                    flat.remnant_max_degree, nested.remnant_max_degree,
+                    "{label}"
+                );
+                assert_costs_identical(&label, &flat.costs, &nested.costs);
+            }
+        }
+    }
+}
+
+#[test]
+fn classic_coloring_flat_and_nested_runtimes_are_bit_identical() {
+    use symbreak_classic::coloring::{baseline, verify};
+    use symbreak_congest::SyncConfig;
+    for seed in [2u64, 13] {
+        for (name, g, ids) in instances(seed) {
+            for threads in THREAD_COUNTS {
+                let config = SyncConfig::default().with_threads(threads);
+                let (flat_colors, flat_report) = baseline::run(&g, &ids, seed, config);
+                let (nested_colors, nested_report) = baseline::run_nested(&g, &ids, seed, config);
+                let label = format!("classic {name} threads={threads}");
+                assert_eq!(flat_colors, nested_colors, "{label}");
+                assert_eq!(flat_report.messages, nested_report.messages, "{label}");
+                assert_eq!(flat_report.rounds, nested_report.rounds, "{label}");
+                assert!(verify::is_proper_coloring(&g, &flat_colors), "{label}");
+            }
+        }
+    }
+}

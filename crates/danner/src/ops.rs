@@ -73,8 +73,15 @@ impl NodeAlgorithm for BroadcastNode {
         let _ = self.is_root;
     }
 
+    /// Purely reactive: the node has nothing to do until a message arrives,
+    /// and the engine's `is_done` contract re-invokes done nodes on message
+    /// arrival. Reporting done from round 0 keeps the per-round cost at
+    /// O(frontier) — with the old "done once every word arrived" flag, all n
+    /// nodes stayed in the active set for all `height` rounds, which made a
+    /// seed broadcast over a 100k-cycle danner (height ≈ n/2) take Θ(n²)
+    /// activations.
     fn is_done(&self) -> bool {
-        self.have_all() && self.next_to_send == self.expected
+        true
     }
 
     fn output(&self) -> Option<u64> {
@@ -150,8 +157,11 @@ impl NodeAlgorithm for ConvergecastNode {
         }
     }
 
+    /// Reactive (see [`BroadcastNode::is_done`]): an inner node waits only
+    /// on child messages, so it need not occupy the active set while its
+    /// subtree drains.
     fn is_done(&self) -> bool {
-        self.sent
+        true
     }
 
     fn output(&self) -> Option<u64> {
@@ -210,8 +220,9 @@ impl NodeAlgorithm for MaxcastNode {
         }
     }
 
+    /// Reactive (see [`BroadcastNode::is_done`]).
     fn is_done(&self) -> bool {
-        self.sent
+        true
     }
 
     fn output(&self) -> Option<u64> {

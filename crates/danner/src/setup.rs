@@ -72,12 +72,15 @@ pub fn try_shared_randomness<R: Rng + ?Sized>(
 
     // Step 1b: leader election over the danner (charged, Corollary 1.2): the
     // minimum-ID node wins; the distributed election floods over the danner,
-    // costing O(|E(H)|) messages and O(diam(H)) rounds.
+    // costing O(|E(H)|) messages and O(diam(H)) rounds. The round charge is
+    // an estimate, so the O(m) double-sweep diameter bound (within a factor
+    // 2, exact on trees) replaces the exact O(n·m) sweep that dominated the
+    // whole setup beyond a few thousand nodes.
     let leader = graph
         .nodes()
         .min_by_key(|&v| ids.id_of(v))
         .expect("non-empty graph");
-    let diam_h = properties::diameter(danner.subgraph()).unwrap_or(0) as u64;
+    let diam_h = properties::diameter_double_sweep(danner.subgraph()).unwrap_or(0) as u64;
     costs.charge(
         "leader election over danner (charged, Cor 1.2)",
         PhaseCost::charged(danner.num_edges() as u64, diam_h.max(1)),

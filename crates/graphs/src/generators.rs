@@ -189,6 +189,52 @@ pub fn random_near_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> 
     b.build()
 }
 
+/// Connected power-law graph by preferential attachment (Barabási–Albert):
+/// nodes `0..=attach` start as a clique; every later node attaches `attach`
+/// edges to distinct existing nodes chosen with probability proportional to
+/// their current degree. Degrees follow a heavy-tailed distribution — the
+/// skewed per-bucket work that stresses load balancing in the round engine.
+pub fn power_law<R: Rng + ?Sized>(n: usize, attach: usize, rng: &mut R) -> Graph {
+    assert!(attach >= 1, "each new node must attach at least one edge");
+    let seed_nodes = (attach + 1).min(n);
+    let mut b = GraphBuilder::new(n);
+    // One entry per directed edge endpoint: sampling uniformly from this
+    // list is sampling nodes proportional to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * attach);
+    for i in 0..seed_nodes {
+        for j in (i + 1)..seed_nodes {
+            b.add_edge(NodeId(i as u32), NodeId(j as u32));
+            endpoints.push(i as u32);
+            endpoints.push(j as u32);
+        }
+    }
+    for v in seed_nodes..n {
+        let mut chosen: Vec<u32> = Vec::with_capacity(attach);
+        let mut attempts = 0usize;
+        while chosen.len() < attach.min(v) && attempts < 16 * attach {
+            let u = endpoints[rng.gen_range(0..endpoints.len())];
+            attempts += 1;
+            if !chosen.contains(&u) {
+                chosen.push(u);
+            }
+        }
+        // Rejection ran dry (tiny graphs): fall back to the lowest unused.
+        let mut fallback = 0u32;
+        while chosen.len() < attach.min(v) {
+            if !chosen.contains(&fallback) {
+                chosen.push(fallback);
+            }
+            fallback += 1;
+        }
+        for &u in &chosen {
+            b.add_edge(NodeId(v as u32), NodeId(u));
+            endpoints.push(v as u32);
+            endpoints.push(u);
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +342,32 @@ mod tests {
     fn gnp_rejects_bad_probability() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = gnp(5, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn power_law_is_connected_with_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = power_law(600, 3, &mut rng);
+        assert_eq!(g.num_nodes(), 600);
+        assert!(properties::is_connected(&g));
+        // Every non-seed node attached `attach` distinct edges.
+        for v in 4..600 {
+            assert!(g.degree(NodeId(v)) >= 3);
+        }
+        // Preferential attachment concentrates degree: the hub should be
+        // well above the average degree.
+        assert!(g.max_degree() >= 4 * g.average_degree() as usize);
+    }
+
+    #[test]
+    fn power_law_handles_tiny_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 5] {
+            let g = power_law(n, 3, &mut rng);
+            assert_eq!(g.num_nodes(), n);
+            if n > 1 {
+                assert!(properties::is_connected(&g));
+            }
+        }
     }
 }

@@ -7,10 +7,14 @@
 //! * [`Graph`] — an immutable compressed-sparse-row (CSR) graph with stable
 //!   [`NodeId`] / [`EdgeId`] indices and deterministic iteration order,
 //!   built through [`GraphBuilder`].
+//! * [`arena`] — flat CSR-style [`AdjacencyArena`]s for derived neighbour
+//!   lists (stage active lists, sampled-subgraph adjacency), built in one
+//!   pass over the graph's own CSR rows.
 //! * [`generators`] — the graph families used by the paper's evaluation:
 //!   Erdős–Rényi `G(n, p)`, complete bipartite graphs, cycles, cliques,
-//!   paths, stars, disjoint unions and the layered tripartite graphs that
-//!   underlie the Section 2 lower-bound construction.
+//!   paths, stars, disjoint unions, preferential-attachment power-law
+//!   graphs and the layered tripartite graphs that underlie the Section 2
+//!   lower-bound construction.
 //! * [`properties`] — BFS, diameter, connectivity and degree statistics.
 //! * [`subgraph`] — induced and edge-filtered subgraphs with index mappings
 //!   back to the parent graph.
@@ -32,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod builder;
 mod graph;
 
@@ -40,6 +45,7 @@ pub mod ids;
 pub mod properties;
 pub mod subgraph;
 
+pub use arena::AdjacencyArena;
 pub use builder::GraphBuilder;
 pub use graph::{EdgeId, Graph, NodeId};
 pub use ids::{IdAssignment, IdSpace};

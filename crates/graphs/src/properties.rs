@@ -87,6 +87,32 @@ pub fn diameter(graph: &Graph) -> Option<u32> {
     Some(diam)
 }
 
+/// Double-sweep diameter estimate in `O(m)`: a BFS from `start`, then a BFS
+/// from the farthest node found. The returned eccentricity `e` satisfies
+/// `diam/2 ≤ e ≤ diam` (exact on trees). Returns `None` for disconnected or
+/// empty graphs.
+///
+/// Use this instead of [`diameter`] when the value feeds an *estimate* (e.g.
+/// charged round counts) on graphs too large for the exact `O(n·m)` sweep.
+pub fn diameter_double_sweep(graph: &Graph) -> Option<u32> {
+    if graph.num_nodes() == 0 {
+        return None;
+    }
+    let first = bfs_distances(graph, NodeId(0));
+    let mut farthest = NodeId(0);
+    let mut max = 0;
+    for (i, &d) in first.iter().enumerate() {
+        if d == UNREACHABLE {
+            return None;
+        }
+        if d > max {
+            max = d;
+            farthest = NodeId(i as u32);
+        }
+    }
+    eccentricity(graph, farthest)
+}
+
 /// Returns `true` when every node is reachable from every other node.
 /// The empty graph and the single-node graph are considered connected.
 pub fn is_connected(graph: &Graph) -> bool {
@@ -180,6 +206,25 @@ mod tests {
         let g = generators::disjoint_union(&[generators::cycle(3), generators::cycle(3)]);
         assert_eq!(diameter(&g), None);
         assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn double_sweep_estimate_brackets_the_diameter() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Exact on trees/paths, within [diam/2, diam] in general.
+        assert_eq!(diameter_double_sweep(&generators::path(9)), Some(8));
+        assert_eq!(diameter_double_sweep(&generators::star(6)), Some(2));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let g = generators::connected_gnp(60, 0.1, &mut rng);
+            let exact = diameter(&g).unwrap();
+            let est = diameter_double_sweep(&g).unwrap();
+            assert!(est <= exact && 2 * est >= exact, "est {est} exact {exact}");
+        }
+        let disc = generators::disjoint_union(&[generators::cycle(3), generators::cycle(3)]);
+        assert_eq!(diameter_double_sweep(&disc), None);
+        assert_eq!(diameter_double_sweep(&Graph::empty(0)), None);
     }
 
     #[test]

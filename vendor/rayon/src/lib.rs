@@ -10,17 +10,26 @@
 //! * [`scope`] / [`Scope::spawn`] — structured parallelism over borrowed
 //!   data; every spawned task joins before `scope` returns.
 //! * [`ThreadPool::par_chunks_mut`] — the chunked `par_for` used by the
-//!   round engine's sharded stepping: splits a mutable slice into at most
-//!   `num_threads` contiguous chunks and runs one task per chunk.
+//!   round engine's sharded stepping: splits a mutable slice into up to
+//!   `4 × num_threads` contiguous chunks **claimed dynamically** by
+//!   `num_threads` workers through one shared [`AtomicUsize`] cursor. The
+//!   oversubscription gives the coarse-grained work stealing real rayon's
+//!   deques provide: a worker that drew a heavy chunk keeps crunching it
+//!   while the others drain the remaining chunks, so skewed per-chunk work
+//!   (power-law inboxes, bucket coloring) load-balances instead of stalling
+//!   the round on the slowest static shard. Chunk boundaries and indices
+//!   depend only on the input length and the thread budget — never on
+//!   execution order — so callers that merge per-chunk outputs by chunk
+//!   index (e.g. `DeliveryBuffer::flip_shards`) stay deterministic.
 //!
 //! Differences from real rayon, by design of a minimal stand-in:
 //!
 //! * Tasks are executed on freshly spawned scoped OS threads rather than a
 //!   persistent work-stealing deque: **every `scope` call pays one OS-thread
 //!   spawn per task** (tens of microseconds each). Callers must make scopes
-//!   coarse — the round engine spawns one task per thread per *round* and
+//!   coarse — the round engine spawns one worker per thread per *round* and
 //!   runs small rounds single-sharded inline, skipping `scope` entirely —
-//!   and intra-scope load *stealing* is missing.
+//!   and stealing is at chunk granularity only.
 //! * A pool built with `num_threads(1)` — and any scope handed exactly one
 //!   task — runs inline on the caller thread with no spawn at all.
 //!
@@ -28,6 +37,14 @@
 //! the real pool — no source changes required in calling crates.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Chunk-count multiplier of [`ThreadPool::par_chunks_mut`]: the slice is
+/// split into up to this many chunks per worker so dynamic claiming can
+/// rebalance skewed per-chunk work without shrinking chunks so far that the
+/// claim cursor becomes a contention point.
+const CHUNK_OVERSUBSCRIPTION: usize = 4;
 
 /// Error type returned by [`ThreadPoolBuilder::build`].
 ///
@@ -114,14 +131,18 @@ impl ThreadPool {
         op()
     }
 
-    /// Chunked `par_for`: splits `items` into at most
-    /// [`ThreadPool::current_num_threads`] contiguous chunks of near-equal
-    /// length and invokes `f(chunk_index, chunk)` for each, in parallel.
+    /// Chunked `par_for` with atomic chunk claiming: splits `items` into up
+    /// to `4 × num_threads` contiguous chunks of near-equal length and runs
+    /// `f(chunk_index, chunk)` for each, with `num_threads` workers claiming
+    /// chunk indices from one shared [`AtomicUsize`] cursor.
     ///
-    /// Chunk `k` covers `items[k*chunk_len ..]` for a `chunk_len` of
-    /// `ceil(items.len() / num_threads)`, so chunk indices are deterministic
-    /// regardless of execution interleaving. With one thread (or one chunk)
-    /// everything runs inline on the caller.
+    /// Chunk `k` covers `items[k*chunk_len .. (k+1)*chunk_len]` for a
+    /// `chunk_len` of `ceil(items.len() / (4·num_threads))`, so chunk
+    /// boundaries and indices are deterministic regardless of which worker
+    /// claims which chunk — only the *assignment* of chunks to workers is
+    /// dynamic, which is what load-balances skewed per-chunk work. With one
+    /// thread (or one chunk) everything runs inline on the caller, in chunk
+    /// order.
     pub fn par_chunks_mut<T, F>(&self, items: &mut [T], f: F)
     where
         T: Send,
@@ -130,15 +151,47 @@ impl ThreadPool {
         if items.is_empty() {
             return;
         }
-        let chunk_len = items.len().div_ceil(self.num_threads);
-        if chunk_len == items.len() {
+        if self.num_threads == 1 {
+            // One worker: no claiming to rebalance, the whole slice is one
+            // inline chunk.
             f(0, items);
             return;
         }
+        let target_chunks = self.num_threads * CHUNK_OVERSUBSCRIPTION;
+        let chunk_len = items.len().div_ceil(target_chunks).max(1);
+        let num_chunks = items.len().div_ceil(chunk_len);
+        if num_chunks == 1 {
+            f(0, items);
+            return;
+        }
+        // Pre-split into claimable slots. The cursor hands each index to
+        // exactly one worker; the per-slot mutex only transfers ownership of
+        // the `&mut` chunk (each is locked exactly once, uncontended).
+        type Slot<'c, T> = Mutex<Option<(usize, &'c mut [T])>>;
+        let slots: Vec<Slot<'_, T>> = items
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(k, chunk)| Mutex::new(Some((k, chunk))))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.num_threads.min(num_chunks);
         self.scope(|s| {
-            for (k, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            for _ in 0..workers {
+                let slots = &slots;
+                let cursor = &cursor;
                 let f = &f;
-                s.spawn(move |_| f(k, chunk));
+                s.spawn(move |_| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= slots.len() {
+                        break;
+                    }
+                    let (idx, chunk) = slots[k]
+                        .lock()
+                        .expect("chunk mutex poisoned")
+                        .take()
+                        .expect("each chunk is claimed exactly once");
+                    f(idx, chunk);
+                });
             }
         });
     }
@@ -242,12 +295,17 @@ mod tests {
                 *x += 1 + k as u32;
             }
         });
-        // Chunk length is ceil(103/4) = 26, so chunk ids are 0..=3.
-        assert!(data.iter().all(|&x| (1..=4).contains(&x)));
-        let expected: u32 = (0..103).map(|i| 1 + (i / 26) as u32).sum();
+        // Chunk length is ceil(103/16) = 7, so chunk ids are 0..=14 and
+        // item i belongs to chunk i/7 regardless of claim order.
+        let expected: u32 = (0..103).map(|i| 1 + (i / 7) as u32).sum();
         assert_eq!(data.iter().sum::<u32>(), expected);
-        // Empty and single-chunk inputs run inline.
+        assert!(data
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| x == 1 + (i / 7) as u32));
+        // Empty inputs are a no-op.
         pool.par_chunks_mut(&mut [] as &mut [u32], |_, _| panic!("no chunks"));
+        // One thread runs inline, still in chunk order.
         let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let mut tiny = vec![5u32; 3];
         single.par_chunks_mut(&mut tiny, |k, chunk| {
@@ -255,5 +313,27 @@ mod tests {
             chunk[0] = 9;
         });
         assert_eq!(tiny, vec![9, 5, 5]);
+    }
+
+    #[test]
+    fn par_chunks_mut_chunk_indices_are_deterministic_under_skew() {
+        // A heavy first chunk must not change which indices the other
+        // chunks see, and every chunk must be processed exactly once even
+        // though claiming is dynamic.
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let n = 60usize; // 12 chunks of 5 at 3 threads
+        let mut data: Vec<(usize, usize)> = (0..n).map(|i| (i, usize::MAX)).collect();
+        pool.par_chunks_mut(&mut data, |k, chunk| {
+            if k == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            for item in chunk.iter_mut() {
+                item.1 = k;
+            }
+        });
+        for (i, &(orig, k)) in data.iter().enumerate() {
+            assert_eq!(orig, i);
+            assert_eq!(k, i / 5, "item {i} saw chunk index {k}");
+        }
     }
 }
