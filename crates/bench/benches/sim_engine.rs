@@ -18,9 +18,15 @@
 //! near-regular random graphs up to n = 10⁵. Each pair is measured for both
 //! engines — single-threaded, plus a multi-threaded engine pass when the
 //! host has more than one CPU (asserting ≥ 2× on the flood@random_d8 row
-//! when ≥ 4 cores are present). The speedups are printed and written to
-//! `BENCH_sim_engine.json` (one JSON object per line, `threads` field per
-//! row; the file is regenerated, not appended).
+//! when ≥ 4 cores are present), plus **sharded** engine rows
+//! (`SyncConfig::shards`, `shards` JSON field): shards = 1 resolves to the
+//! identity partition — asserted ≥ 0.95× the unsharded engine at full size,
+//! guarding that merely *enabling* sharding costs nothing — while
+//! shards = 4 exercises the real shard-slice/ghost-frontier machinery
+//! (reported, not gated: row translation is the price of frontier
+//! isolation). The speedups are printed and written to
+//! `BENCH_sim_engine.json` (one JSON object per line, `threads`/`shards`
+//! fields per row; the file is regenerated, not appended).
 //!
 //! Set `SIM_ENGINE_SMOKE=1` to run a reduced-n regression smoke (used by
 //! CI): the same workloads and asserts at a fraction of the size, with no
@@ -182,9 +188,11 @@ fn cases() -> Vec<Case> {
     out
 }
 
-fn run_case(case: &Case, naive: bool, threads: usize) -> ExecutionReport {
+fn run_case(case: &Case, naive: bool, threads: usize, shards: usize) -> ExecutionReport {
     let sim = SyncSimulator::new(&case.graph, &case.ids, KtLevel::KT1);
-    let config = SyncConfig::default().with_threads(threads);
+    let config = SyncConfig::default()
+        .with_threads(threads)
+        .with_shards(shards);
     match (case.workload, naive) {
         (Workload::Flood, false) => sim.run(config, |_| Flood::new()),
         (Workload::Flood, true) => NaiveSyncSimulator::new(sim).run(config, |_| Flood::new()),
@@ -206,11 +214,11 @@ fn run_case(case: &Case, naive: bool, threads: usize) -> ExecutionReport {
 }
 
 /// Best-of-`iters` wall-clock nanoseconds for one case.
-fn measure(case: &Case, naive: bool, threads: usize, iters: u32) -> f64 {
+fn measure(case: &Case, naive: bool, threads: usize, shards: usize, iters: u32) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..iters {
         let t = Instant::now();
-        let report = run_case(case, naive, threads);
+        let report = run_case(case, naive, threads, shards);
         let ns = t.elapsed().as_nanos() as f64;
         assert!(report.completed, "workload must terminate");
         best = best.min(ns);
@@ -225,10 +233,10 @@ fn measure_pair(case: &Case, engine_iters: u32, naive_iters: u32) -> (f64, f64) 
     let (mut engine_best, mut naive_best) = (f64::INFINITY, f64::INFINITY);
     for k in 0..engine_iters.max(naive_iters) {
         if k < engine_iters {
-            engine_best = engine_best.min(measure(case, false, 1, 1));
+            engine_best = engine_best.min(measure(case, false, 1, 0, 1));
         }
         if k < naive_iters {
-            naive_best = naive_best.min(measure(case, true, 1, 1));
+            naive_best = naive_best.min(measure(case, true, 1, 0, 1));
         }
     }
     (engine_best, naive_best)
@@ -237,6 +245,8 @@ fn measure_pair(case: &Case, engine_iters: u32, naive_iters: u32) -> (f64, f64) 
 struct Row<'c> {
     case: &'c Case,
     threads: usize,
+    /// Graph shard count of the sharded stepping path; `0` = unsharded.
+    shards: usize,
     messages: u64,
     engine_ns: f64,
     naive_ns: f64,
@@ -245,10 +255,11 @@ struct Row<'c> {
 impl Row<'_> {
     fn print(&self) {
         println!(
-            "{:<22} {:<13} {:>3} {:>12} {:>12.2}ms {:>12.2}ms {:>8.2}x",
+            "{:<22} {:<13} {:>3} {:>3} {:>12} {:>12.2}ms {:>12.2}ms {:>8.2}x",
             self.case.graph_name,
             self.case.workload.name(),
             self.threads,
+            self.shards,
             self.messages,
             self.engine_ns / 1e6,
             self.naive_ns / 1e6,
@@ -258,12 +269,13 @@ impl Row<'_> {
 
     fn json(&self) -> String {
         format!(
-            "{{\"bench\":\"sim_engine\",\"graph\":\"{}\",\"workload\":\"{}\",\"n\":{},\"m\":{},\"threads\":{},\"messages\":{},\"engine_ns\":{:.0},\"naive_ns\":{:.0},\"speedup\":{:.3}}}",
+            "{{\"bench\":\"sim_engine\",\"graph\":\"{}\",\"workload\":\"{}\",\"n\":{},\"m\":{},\"threads\":{},\"shards\":{},\"messages\":{},\"engine_ns\":{:.0},\"naive_ns\":{:.0},\"speedup\":{:.3}}}",
             self.case.graph_name,
             self.case.workload.name(),
             self.case.graph.num_nodes(),
             self.case.graph.num_edges(),
             self.threads,
+            self.shards,
             self.messages,
             self.engine_ns,
             self.naive_ns,
@@ -299,17 +311,18 @@ fn compare_engines() {
         if smoke() { ", smoke" } else { "" }
     );
     println!(
-        "{:<22} {:<13} {:>3} {:>12} {:>14} {:>14} {:>9}",
-        "graph", "workload", "thr", "messages", "engine", "naive", "speedup"
+        "{:<22} {:<13} {:>3} {:>3} {:>12} {:>14} {:>14} {:>9}",
+        "graph", "workload", "thr", "shd", "messages", "engine", "naive", "speedup"
     );
     let cases = cases();
     let mut mt_flood_ratio: Option<f64> = None;
     for case in &cases {
-        let messages = run_case(case, false, 1).messages;
+        let messages = run_case(case, false, 1, 0).messages;
         let (engine_ns, naive_ns) = measure_pair(case, 7, case.naive_iters);
         let row = Row {
             case,
             threads: 1,
+            shards: 0,
             messages,
             engine_ns,
             naive_ns,
@@ -327,11 +340,63 @@ fn compare_engines() {
                 naive_ns / 1e6
             );
         }
+        // Sharded stepping rows: shards = 1 is the identity partition
+        // (must cost nothing — the ≥ 0.95× gate below), shards = 4 the
+        // shard-slice/ghost-frontier machinery. Both single-threaded,
+        // against the same naive baseline. The gate's two measurements are
+        // *interleaved* (fresh unsharded pass vs shards = 1) so slow clock
+        // drift cannot fail a ratio between code paths that are identical
+        // modulo one O(n) plan computation.
+        let (engine_again_ns, sharded1_ns) = {
+            let (mut a, mut b) = (f64::INFINITY, f64::INFINITY);
+            for _ in 0..7 {
+                a = a.min(measure(case, false, 1, 0, 1));
+                b = b.min(measure(case, false, 1, 1, 1));
+            }
+            (a, b)
+        };
+        let sharded4_ns = measure(case, false, 1, 4, 7);
+        for (shard_count, sharded_ns) in [(1usize, sharded1_ns), (4, sharded4_ns)] {
+            let sharded_row = Row {
+                case,
+                threads: 1,
+                shards: shard_count,
+                messages,
+                engine_ns: sharded_ns,
+                naive_ns,
+            };
+            sharded_row.print();
+            if let Some(f) = json.as_mut() {
+                let _ = writeln!(f, "{}", sharded_row.json());
+            }
+        }
+        let ratio = engine_again_ns / sharded1_ns;
+        if smoke() {
+            if ratio < 0.95 {
+                println!(
+                    "smoke: sharded@1 on {}/{} only {ratio:.2}x of the unsharded \
+                     engine (informational only at reduced n)",
+                    case.graph_name,
+                    case.workload.name()
+                );
+            }
+        } else {
+            assert!(
+                ratio >= 0.95,
+                "sharded indirection regression on {}/{}: shards=1 is {ratio:.2}x \
+                 the unsharded engine (sharded {:.2}ms vs {:.2}ms)",
+                case.graph_name,
+                case.workload.name(),
+                sharded1_ns / 1e6,
+                engine_again_ns / 1e6
+            );
+        }
         if mt_threads > 1 {
-            let mt_ns = measure(case, false, mt_threads, 5);
+            let mt_ns = measure(case, false, mt_threads, 0, 5);
             let mt_row = Row {
                 case,
                 threads: mt_threads,
+                shards: 0,
                 messages,
                 engine_ns: mt_ns,
                 naive_ns,
@@ -342,6 +407,20 @@ fn compare_engines() {
             }
             if matches!(case.workload, Workload::Flood) && case.graph_name == "random_d8_100000" {
                 mt_flood_ratio = Some(engine_ns / mt_ns);
+            }
+            // The parallel ghost-frontier path: one worker per shard.
+            let mt_sharded_ns = measure(case, false, mt_threads, mt_threads.max(2), 5);
+            let mt_sharded_row = Row {
+                case,
+                threads: mt_threads,
+                shards: mt_threads.max(2),
+                messages,
+                engine_ns: mt_sharded_ns,
+                naive_ns,
+            };
+            mt_sharded_row.print();
+            if let Some(f) = json.as_mut() {
+                let _ = writeln!(f, "{}", mt_sharded_row.json());
             }
         }
     }
@@ -388,13 +467,13 @@ fn bench(c: &mut Criterion) {
         naive_iters: 5,
     };
     c.bench_function("sim_engine_flood_random_d8_10000", |b| {
-        b.iter(|| run_case(&flood_case, false, 1))
+        b.iter(|| run_case(&flood_case, false, 1, 0))
     });
     c.bench_function("sim_engine_announce_random_d8_10000", |b| {
-        b.iter(|| run_case(&announce_case, false, 1))
+        b.iter(|| run_case(&announce_case, false, 1, 0))
     });
     c.bench_function("sim_naive_flood_random_d8_10000", |b| {
-        b.iter(|| run_case(&flood_case, true, 1))
+        b.iter(|| run_case(&flood_case, true, 1, 0))
     });
 }
 

@@ -6,5 +6,6 @@
 //! the same code path.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod workloads;

@@ -524,7 +524,7 @@ pub mod johansson {
     ) -> (Vec<Option<u64>>, ExecutionReport) {
         spec.validate(graph);
         let sim = SyncSimulator::new(graph, ids, level);
-        let report = sim.run(config, |init| {
+        let mut report = sim.run(config, |init| {
             let i = init.node.index();
             Node {
                 participating: spec.participating[i],
@@ -539,7 +539,8 @@ pub mod johansson {
             report.completed,
             "Johansson list-coloring did not terminate"
         );
-        (report.outputs.clone(), report)
+        let colors = std::mem::take(&mut report.outputs);
+        (colors, report)
     }
 
     /// Flat specification of a list-coloring instance: bitset palettes plus

@@ -142,7 +142,7 @@ impl<'g> AsyncSimulator<'g> {
     /// Runs the node algorithms under random message delays drawn from `rng`.
     ///
     /// Node activation (context construction, automaton stepping, CONGEST
-    /// validation) goes through the same [`NodeRuntime`] engine as the
+    /// validation) goes through the same `NodeRuntime` engine as the
     /// synchronous simulator; only the delay-wheel delivery policy lives
     /// here. The wheel tracks, per slot, exactly the nodes with messages
     /// arriving at that time (in ascending node order, so reports are

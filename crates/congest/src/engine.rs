@@ -34,6 +34,7 @@
 //!   `ACTIVE = false` constant statically removes every observation branch
 //!   (including the per-message edge lookup) from the inner loop.
 
+use symbreak_graphs::sharded::{GraphShard, ShardedGraph};
 use symbreak_graphs::{EdgeId, Graph, IdAssignment, NodeId};
 
 use crate::{KnowledgeView, KtLevel, Message, NodeAlgorithm, NodeInit, RoundContext};
@@ -298,6 +299,86 @@ impl<'g, A: NodeAlgorithm> NodeRuntime<'g, A> {
         )
     }
 
+    /// Like [`NodeRuntime::step`], but resolving the node's neighbour list
+    /// from `shard`'s *local* CSR slice instead of the runtime's global
+    /// neighbour table: an identity shard (single-shard plans) lends its
+    /// rows out directly, every other shard's row is translated into global
+    /// [`NodeId`]s through the ghost table into `scratch` (a reused buffer).
+    /// The activation then runs through the same [`step_node`] path as every
+    /// other loop. `i` is a global node index owned by `shard`.
+    ///
+    /// This is the sequential half of the sharded stepping seam: the graph's
+    /// adjacency is only touched through per-shard slices, which is what
+    /// out-of-core and NUMA-local placement need.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub(crate) fn step_sharded<S>(
+        &mut self,
+        shard: &GraphShard,
+        i: usize,
+        round: u64,
+        inbox: &[Message],
+        bit_limit: u32,
+        max_bits: &mut u32,
+        scratch: &mut Vec<NodeId>,
+        sink: &mut S,
+    ) -> bool
+    where
+        S: FnMut(NodeId, NodeId, Message),
+    {
+        let nbrs = sharded_row(shard, (i - shard.start_index()) as u32, scratch);
+        step_node(
+            self.graph,
+            self.ids,
+            self.level,
+            nbrs,
+            &mut self.nodes[i],
+            NodeId(i as u32),
+            round,
+            inbox,
+            bit_limit,
+            max_bits,
+            &mut self.outbox_pool,
+            sink,
+        )
+    }
+
+    /// Splits the automata into disjoint mutable [`ShardSliceView`]s, one
+    /// per shard of `sharded` — the multi-threaded counterpart of
+    /// [`NodeRuntime::step_sharded`]. Each view steps its own node range
+    /// against its shard's local CSR slice from a separate thread.
+    ///
+    /// Return the warm outbox pools with [`NodeRuntime::restore_pools`] once
+    /// the views are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard plan does not cover exactly the runtime's nodes.
+    pub(crate) fn shard_slice_views<'rt, 'sg>(
+        &'rt mut self,
+        sharded: &'sg ShardedGraph,
+    ) -> Vec<ShardSliceView<'rt, 'g, 'sg, A>> {
+        assert_eq!(sharded.num_nodes(), self.nodes.len());
+        let ranges: Vec<(usize, usize)> = (0..sharded.num_shards())
+            .map(|s| {
+                let (lo, hi) = sharded.plan().range(s);
+                (lo as usize, hi as usize)
+            })
+            .collect();
+        split_ranges_mut(&mut self.nodes, &ranges)
+            .into_iter()
+            .enumerate()
+            .map(|(s, nodes)| ShardSliceView {
+                graph: self.graph,
+                ids: self.ids,
+                level: self.level,
+                shard: sharded.shard(s),
+                nodes,
+                outbox_pool: self.shard_pools.pop().unwrap_or_default(),
+            })
+            .collect()
+    }
+
     /// Splits the automata into disjoint mutable [`ShardView`]s, one per
     /// entry of `node_bounds` (ascending, non-overlapping `[start, end)`
     /// node-index ranges). Each view can step its own nodes from a separate
@@ -390,6 +471,91 @@ impl<A: NodeAlgorithm> ShardView<'_, '_, A> {
     /// Consumes the shard, releasing its warm outbox pool.
     pub(crate) fn into_pool(self) -> Vec<(NodeId, Message)> {
         self.outbox_pool
+    }
+}
+
+/// A disjoint mutable view over the automata of one [`GraphShard`],
+/// steppable independently of (and concurrently with) the other shards —
+/// the sharded counterpart of [`ShardView`]. Where [`ShardView`] reads
+/// neighbour lists from the runtime's *global* flat table, this view reads
+/// them from its shard's **local CSR slice**, translating ghost references
+/// back to global IDs per activation.
+pub(crate) struct ShardSliceView<'rt, 'g, 'sg, A> {
+    graph: &'g Graph,
+    ids: &'g IdAssignment,
+    level: KtLevel,
+    shard: &'sg GraphShard,
+    nodes: &'rt mut [A],
+    outbox_pool: Vec<(NodeId, Message)>,
+}
+
+impl<A: NodeAlgorithm> ShardSliceView<'_, '_, '_, A> {
+    /// Global node index of this view's first node (its shard's start).
+    #[inline]
+    pub(crate) fn base(&self) -> usize {
+        self.shard.start_index()
+    }
+
+    /// Like [`NodeRuntime::step_sharded`], for a *global* node index `i`
+    /// inside this view's shard. `scratch` is the caller's reused
+    /// row-translation buffer (one per shard, reused across rounds; kept
+    /// outside the view because the view is rebuilt every round while the
+    /// buffer's warm allocation survives).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<S>(
+        &mut self,
+        i: usize,
+        round: u64,
+        inbox: &[Message],
+        bit_limit: u32,
+        max_bits: &mut u32,
+        scratch: &mut Vec<NodeId>,
+        sink: &mut S,
+    ) -> bool
+    where
+        S: FnMut(NodeId, NodeId, Message),
+    {
+        let base = self.shard.start_index();
+        let nbrs = sharded_row(self.shard, (i - base) as u32, scratch);
+        step_node(
+            self.graph,
+            self.ids,
+            self.level,
+            nbrs,
+            &mut self.nodes[i - base],
+            NodeId(i as u32),
+            round,
+            inbox,
+            bit_limit,
+            max_bits,
+            &mut self.outbox_pool,
+            sink,
+        )
+    }
+
+    /// Consumes the view, releasing its warm outbox pool.
+    pub(crate) fn into_pool(self) -> Vec<(NodeId, Message)> {
+        self.outbox_pool
+    }
+}
+
+/// Resolves the neighbour row of shard-local node `local` to global
+/// [`NodeId`]s: an identity shard lends its row out directly, every other
+/// shard translates through its ghost table into `scratch`. One helper
+/// shared by [`NodeRuntime::step_sharded`] and [`ShardSliceView::step`] so
+/// the sequential-sharded and parallel-sharded paths cannot drift.
+#[inline]
+fn sharded_row<'a>(
+    shard: &'a GraphShard,
+    local: u32,
+    scratch: &'a mut Vec<NodeId>,
+) -> &'a [NodeId] {
+    match shard.global_row(local) {
+        Some(row) => row,
+        None => {
+            shard.write_global_row(local, scratch);
+            scratch
+        }
     }
 }
 

@@ -14,7 +14,11 @@
 //!   (utilized edges, decoded representations of executions).
 //! * [`SyncSimulator`] drives [`NodeAlgorithm`] automata round by round,
 //!   metering every message, every round, per-edge traffic and utilized
-//!   edges (Definition 2.3).
+//!   edges (Definition 2.3). Throughput knobs — worker threads
+//!   ([`SyncConfig::threads`] / `CONGEST_THREADS`) and graph sharding with
+//!   ghost-node frontiers ([`SyncConfig::shards`] / `CONGEST_SHARDS`) —
+//!   never change results: reports are bit-identical at every
+//!   thread/shard combination.
 //! * [`CostAccount`] additionally supports *charged* costs, used when a
 //!   substrate (the danner of Theorem 1.1, the asynchronous MST of
 //!   Theorem 1.3) is invoked as a black box with published complexity.
@@ -74,4 +78,4 @@ pub use message::{Message, MAX_ID_FIELDS, MAX_VALUE_FIELDS};
 pub use metrics::{CostAccount, PhaseCost};
 pub use model::KtLevel;
 pub use node::{NodeAlgorithm, NodeInit, RoundContext};
-pub use sync::{ExecutionReport, SyncConfig, SyncSimulator, THREADS_ENV};
+pub use sync::{ExecutionReport, SyncConfig, SyncSimulator, SHARDS_ENV, THREADS_ENV};

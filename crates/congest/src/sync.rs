@@ -23,13 +23,28 @@
 //! contiguous slices of the ascending active list, so concatenating their
 //! staging buffers in shard order reproduces the sequential staging order
 //! exactly, for any thread count.
+//!
+//! On top of both sits **graph sharding** ([`SyncConfig::shards`] /
+//! `CONGEST_SHARDS`): the CSR adjacency arrays are partitioned into
+//! degree-balanced contiguous shards, each a self-contained local slice
+//! with a ghost table for cross-shard references
+//! ([`symbreak_graphs::sharded::ShardedGraph`]). Stepping then touches the
+//! graph only through per-shard slices — single-threaded runs walk the
+//! shards in order through the sequential loop, and multi-threaded runs
+//! step one shard per worker, routing messages through per-(source-shard,
+//! destination-shard) **frontier buffers** merged by the same deterministic
+//! counting sort. Reports stay bit-identical at any shard *and* thread
+//! count: shards are contiguous ranges of the node space, so walking the
+//! frontier matrix in source-shard-major order reproduces the sequential
+//! staging order exactly.
 
 use serde::{Deserialize, Serialize};
+use symbreak_graphs::sharded::{balanced_cuts, ShardPlan, ShardedGraph};
 use symbreak_graphs::{EdgeId, Graph, IdAssignment, NodeId};
 
 use crate::engine::{
     split_ranges_mut, DeliveryBuffer, MessageArena, NodeRuntime, NoopObserver, RoundObserver,
-    ShardView,
+    ShardSliceView, ShardView,
 };
 use crate::model::DEFAULT_MESSAGE_BITS;
 use crate::trace::{Trace, TraceMessage};
@@ -39,6 +54,11 @@ use crate::{KnowledgeView, KtLevel, Message, NodeAlgorithm, NodeInit, SimError};
 /// [`SyncConfig::threads`]` = 0` (used by CI to exercise both the sequential
 /// and the parallel loop with one test suite).
 pub const THREADS_ENV: &str = "CONGEST_THREADS";
+
+/// Environment variable overriding the graph shard count of
+/// [`SyncConfig::shards`]` = 0` (used by CI to run whole test suites through
+/// the sharded stepping path).
+pub const SHARDS_ENV: &str = "CONGEST_SHARDS";
 
 /// Rounds with fewer active nodes than this per shard run single-sharded
 /// (inline, no cross-thread dispatch) — fork-join overhead would dwarf the
@@ -74,6 +94,20 @@ pub struct SyncConfig {
     /// instrumented runs (trace/utilization/per-edge or a custom observer)
     /// always execute sequentially.
     pub threads: usize,
+    /// Graph shards for sharded stepping. `0` (the default) resolves to the
+    /// `CONGEST_SHARDS` environment variable if set, else disables sharding.
+    /// When ≥ 1, the CSR adjacency is partitioned into that many
+    /// degree-balanced contiguous shards
+    /// ([`symbreak_graphs::sharded::ShardedGraph`]; clamped to the node
+    /// count) and every activation resolves its neighbour list from its
+    /// shard's local slice. With more than one thread, workers step one
+    /// shard each and cross-shard messages travel through per-(src-shard,
+    /// dst-shard) frontier buffers; parallelism is then capped by the shard
+    /// count. A plan that resolves to a single shard is the identity
+    /// partition and runs on the unsharded fast path at zero extra cost.
+    /// Reports are bit-identical to the unsharded engine at any
+    /// shard/thread combination.
+    pub shards: usize,
 }
 
 impl Default for SyncConfig {
@@ -85,6 +119,7 @@ impl Default for SyncConfig {
             track_utilization: false,
             track_per_edge: false,
             threads: 0,
+            shards: 0,
         }
     }
 }
@@ -112,6 +147,27 @@ impl SyncConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Sets the graph shard count (`0` = disabled; see
+    /// [`SyncConfig::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The effective shard count: an explicit setting wins, then the
+    /// `CONGEST_SHARDS` environment variable, then `0` (sharding disabled).
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        if let Ok(raw) = std::env::var(SHARDS_ENV) {
+            if let Ok(v) = raw.trim().parse::<usize>() {
+                return v;
+            }
+        }
+        0
     }
 
     /// The effective thread count: an explicit setting wins, then the
@@ -236,7 +292,7 @@ impl<'g> SyncSimulator<'g> {
     /// When `config` requests no instrumentation, the run uses the
     /// branch-free fast path ([`NoopObserver`]) — parallel across
     /// [`SyncConfig::threads`] workers when more than one resolves;
-    /// otherwise the built-in [`Instrumentation`] observer collects whatever
+    /// otherwise the built-in `Instrumentation` observer collects whatever
     /// the config asked for on the sequential loop.
     ///
     /// Automata must be [`Send`] so the round loop *may* shard them across
@@ -292,25 +348,59 @@ impl<'g> SyncSimulator<'g> {
         O: RoundObserver,
     {
         let threads = config.resolved_threads();
+        let shards = config.resolved_shards();
+        if shards > 0 {
+            let plan = ShardPlan::degree_balanced(self.graph, shards);
+            if plan.num_shards() > 1 {
+                // Sharded stepping: the adjacency is only touched through
+                // per-shard local CSR slices. Multi-threaded uninstrumented
+                // runs take the frontier-buffer loop (one worker per shard);
+                // everything else walks the shards in order on the
+                // sequential loop. Reports are bit-identical either way.
+                let sharded = ShardedGraph::with_plan(self.graph, plan);
+                if !O::ACTIVE && threads > 1 {
+                    return self.run_sharded_parallel(config, make, &sharded, threads);
+                }
+                return self.run_sequential::<_, _, _, true>(
+                    config,
+                    make,
+                    observer,
+                    Some(&sharded),
+                );
+            }
+            // A single-shard plan is the *identity* partition: its one
+            // shard's local CSR slice is the global adjacency verbatim
+            // (start 0, no ghosts), so the unsharded loops below already
+            // step it optimally — sharding only costs anything from two
+            // shards up, where it buys frontier isolation.
+        }
         if !O::ACTIVE && threads > 1 {
             self.run_parallel(config, make, threads)
         } else {
-            self.run_sequential(config, make, observer)
+            self.run_sequential::<_, _, _, false>(config, make, observer, None)
         }
     }
 
     /// The sequential round loop (also the only loop observers ever see).
-    fn run_sequential<A, F, O>(
+    /// With `SHARDED` (and the matching `sharded` graph) set, every
+    /// activation resolves its neighbour list from its shard's local CSR
+    /// slice (the shards are walked in ascending order, so one cursor tracks
+    /// the owning shard); delivery is unchanged, so the report is
+    /// bit-identical to an unsharded run. Shardedness is a compile-time
+    /// parameter so the unsharded fast path carries no dispatch branches.
+    fn run_sequential<A, F, O, const SHARDED: bool>(
         &self,
         config: SyncConfig,
         make: F,
         observer: &mut O,
+        sharded: Option<&ShardedGraph>,
     ) -> ExecutionReport
     where
         A: NodeAlgorithm,
         F: FnMut(NodeInit<'_>) -> A,
         O: RoundObserver,
     {
+        debug_assert_eq!(SHARDED, sharded.is_some());
         let n = self.graph.num_nodes();
         let mut runtime = NodeRuntime::new(self.graph, self.ids, self.level, make);
         let mut arena = MessageArena::new(n);
@@ -333,6 +423,8 @@ impl<'g> SyncSimulator<'g> {
         let mut receivers: Vec<u32> = Vec::new();
         let mut done = runtime.done_flags();
         let mut undone_count = done.iter().filter(|&&d| !d).count();
+        // Sharded stepping state: the reused row-translation buffer.
+        let mut scratch: Vec<NodeId> = Vec::new();
 
         loop {
             if rounds > 0 && arena.len() == 0 && undone_count == 0 {
@@ -360,25 +452,46 @@ impl<'g> SyncSimulator<'g> {
             // flip can afford one O(n) reconstruction scan (the round was
             // already Ω(n)). Sparse rounds keep the incremental push.
             let defer_undone = active_all;
+            // Activation order is ascending, so when sharding is on a single
+            // forward cursor finds each node's owning shard.
+            let mut shard_idx = 0usize;
             let mut step_one = |i: usize| {
-                let now_done = runtime.step(
-                    i,
-                    rounds,
-                    arena.inbox(i),
-                    config.message_bit_limit,
-                    &mut max_bits,
-                    &mut |from, to, msg| {
-                        messages += 1;
-                        if O::ACTIVE {
-                            let edge = self
-                                .graph
-                                .edge_between(from, to)
-                                .expect("send target verified to be a neighbour");
-                            observer.on_message(from, to, edge, &msg);
-                        }
-                        staging.stage(to, msg);
-                    },
-                );
+                let mut sink = |from: NodeId, to: NodeId, msg: Message| {
+                    messages += 1;
+                    if O::ACTIVE {
+                        let edge = self
+                            .graph
+                            .edge_between(from, to)
+                            .expect("send target verified to be a neighbour");
+                        observer.on_message(from, to, edge, &msg);
+                    }
+                    staging.stage(to, msg);
+                };
+                let now_done = if SHARDED {
+                    let sg = sharded.expect("SHARDED implies a sharded graph");
+                    while i >= sg.plan().range(shard_idx).1 as usize {
+                        shard_idx += 1;
+                    }
+                    runtime.step_sharded(
+                        sg.shard(shard_idx),
+                        i,
+                        rounds,
+                        arena.inbox(i),
+                        config.message_bit_limit,
+                        &mut max_bits,
+                        &mut scratch,
+                        &mut sink,
+                    )
+                } else {
+                    runtime.step(
+                        i,
+                        rounds,
+                        arena.inbox(i),
+                        config.message_bit_limit,
+                        &mut max_bits,
+                        &mut sink,
+                    )
+                };
                 if now_done != done[i] {
                     done[i] = now_done;
                     if now_done {
@@ -561,6 +674,152 @@ impl<'g> SyncSimulator<'g> {
             trace: None,
         }
     }
+
+    /// The sharded multi-core round loop: one worker per graph shard, each
+    /// stepping its shard's window of the active list against the shard's
+    /// **local CSR slice**. Outgoing messages are routed into the round's
+    /// `shards × shards` **frontier matrix** (row = source shard, column =
+    /// destination shard); [`DeliveryBuffer::flip_shards`] then merges the
+    /// matrix in source-shard-major order with one deterministic counting
+    /// sort. Shards are contiguous ranges of the node space and each window
+    /// is stepped in ascending order, so the merged arena — and therefore
+    /// the report — is bit-identical to the unsharded engine at any
+    /// shard/thread combination.
+    fn run_sharded_parallel<A, F>(
+        &self,
+        config: SyncConfig,
+        make: F,
+        sharded: &ShardedGraph,
+        threads: usize,
+    ) -> ExecutionReport
+    where
+        A: NodeAlgorithm + Send,
+        F: FnMut(NodeInit<'_>) -> A,
+    {
+        let n = self.graph.num_nodes();
+        let s = sharded.num_shards();
+        let plan = sharded.plan();
+        let mut runtime = NodeRuntime::new(self.graph, self.ids, self.level, make);
+        let mut arena = MessageArena::new(n);
+        let mut staging = DeliveryBuffer::new(n);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("vendored thread pool cannot fail to build");
+
+        let mut messages: u64 = 0;
+        let mut max_bits: u32 = 0;
+        let mut rounds: u64 = 0;
+        let mut completed = false;
+
+        let mut active: Vec<u32> = (0..n as u32).collect();
+        let mut undone: Vec<u32> = Vec::new();
+        let mut receivers: Vec<u32> = Vec::new();
+        let mut done = runtime.done_flags();
+        let mut undone_count = done.iter().filter(|&&d| !d).count();
+
+        let node_ranges: Vec<(usize, usize)> = (0..s)
+            .map(|k| {
+                let (lo, hi) = plan.range(k);
+                (lo as usize, hi as usize)
+            })
+            .collect();
+        // Per-shard round state, reused across rounds: the frontier matrix
+        // (s rows of s destination buffers), per-shard undone lists (their
+        // shard-order concatenation is the ascending undone list) and the
+        // per-shard row-translation scratch buffers.
+        let mut frontiers: Vec<Vec<(u32, Message)>> = (0..s * s).map(|_| Vec::new()).collect();
+        let mut shard_undone: Vec<Vec<u32>> = (0..s).map(|_| Vec::new()).collect();
+        let mut scratches: Vec<Vec<NodeId>> = (0..s).map(|_| Vec::new()).collect();
+
+        loop {
+            if rounds > 0 && arena.len() == 0 && undone_count == 0 {
+                completed = true;
+                break;
+            }
+            if rounds >= config.max_rounds {
+                break;
+            }
+
+            undone.clear();
+            if !active.is_empty() {
+                // Each shard's window of the ascending active list.
+                let mut windows = Vec::with_capacity(s);
+                let mut lo = 0usize;
+                for k in 0..s {
+                    let end = plan.range(k).1;
+                    let hi = lo + active[lo..].partition_point(|&a| a < end);
+                    windows.push((lo, hi));
+                    lo = hi;
+                }
+                let views = runtime.shard_slice_views(sharded);
+                let done_slices = split_ranges_mut(&mut done, &node_ranges);
+                let mut tasks: Vec<ShardedTask<'_, '_, '_, '_, A>> = views
+                    .into_iter()
+                    .zip(&windows)
+                    .zip(frontiers.chunks_mut(s))
+                    .zip(shard_undone.iter_mut())
+                    .zip(scratches.iter_mut())
+                    .zip(done_slices)
+                    .map(
+                        |(((((view, &(wlo, whi)), frontier_row), undone_buf), scratch), ds)| {
+                            ShardedTask {
+                                view,
+                                active_slice: &active[wlo..whi],
+                                frontier_row,
+                                undone_buf,
+                                scratch,
+                                done_slice: ds,
+                                outcome: (0, 0, 0),
+                            }
+                        },
+                    )
+                    .collect();
+
+                if active.len() < MIN_ACTIVE_PER_SHARD {
+                    // Small round: step the shards inline on the caller
+                    // thread — same path, no fork-join.
+                    for task in &mut tasks {
+                        run_sharded_task(task, rounds, &arena, config.message_bit_limit, plan);
+                    }
+                } else {
+                    let arena_ref = &arena;
+                    let bit_limit = config.message_bit_limit;
+                    pool.par_chunks_mut(&mut tasks, |_, chunk| {
+                        for task in chunk {
+                            run_sharded_task(task, rounds, arena_ref, bit_limit, plan);
+                        }
+                    });
+                }
+
+                let mut pools = Vec::with_capacity(tasks.len());
+                for task in tasks {
+                    pools.push(task.view.into_pool());
+                    let (shard_messages, shard_max_bits, undone_delta) = task.outcome;
+                    messages += shard_messages;
+                    max_bits = max_bits.max(shard_max_bits);
+                    undone_count = (undone_count as i64 + undone_delta) as usize;
+                    undone.extend_from_slice(task.undone_buf);
+                }
+                runtime.restore_pools(pools);
+            }
+
+            staging.flip_shards(&mut frontiers, &mut arena, &mut receivers);
+            next_active(&mut receivers, &undone, &mut active, n);
+            rounds += 1;
+        }
+
+        ExecutionReport {
+            completed,
+            rounds,
+            messages,
+            max_message_bits: max_bits,
+            outputs: runtime.outputs(),
+            per_edge_messages: None,
+            utilized_edges: None,
+            trace: None,
+        }
+    }
 }
 
 /// One claimable unit of a round: a [`ShardView`] over a contiguous window
@@ -646,46 +905,92 @@ fn step_shard<A: NodeAlgorithm>(
     *outcome = (local_messages, local_max_bits, undone_delta);
 }
 
+/// One claimable unit of a *sharded* round: a [`ShardSliceView`] over one
+/// graph shard's automata plus that shard's active-list window, frontier
+/// row (one staging buffer per destination shard), undone list, done window,
+/// row-translation scratch and outcome accumulator.
+struct ShardedTask<'a, 'rt, 'g, 'sg, A> {
+    view: ShardSliceView<'rt, 'g, 'sg, A>,
+    active_slice: &'a [u32],
+    /// This source shard's row of the frontier matrix: `frontier_row[d]`
+    /// stages the messages bound for destination shard `d`.
+    frontier_row: &'a mut [Vec<(u32, Message)>],
+    undone_buf: &'a mut Vec<u32>,
+    scratch: &'a mut Vec<NodeId>,
+    done_slice: &'a mut [bool],
+    /// `(messages, max_bits, undone_count delta)`.
+    outcome: (u64, u32, i64),
+}
+
+/// Steps one [`ShardedTask`]: the shard's window of the round's ascending
+/// active list runs through the shard-local view, and every outgoing message
+/// is routed to its destination shard's frontier buffer.
+fn run_sharded_task<A: NodeAlgorithm>(
+    task: &mut ShardedTask<'_, '_, '_, '_, A>,
+    round: u64,
+    arena: &MessageArena,
+    bit_limit: u32,
+    plan: &ShardPlan,
+) {
+    let ShardedTask {
+        view,
+        active_slice,
+        frontier_row,
+        undone_buf,
+        scratch,
+        done_slice,
+        outcome,
+    } = task;
+    let base = view.base();
+    let mut local_messages = 0u64;
+    let mut local_max_bits = 0u32;
+    let mut undone_delta = 0i64;
+    undone_buf.clear();
+    for &iu in *active_slice {
+        let i = iu as usize;
+        let now_done = view.step(
+            i,
+            round,
+            arena.inbox(i),
+            bit_limit,
+            &mut local_max_bits,
+            scratch,
+            &mut |_from, to, msg| {
+                local_messages += 1;
+                frontier_row[plan.shard_of(to)].push((to.0, msg));
+            },
+        );
+        let flag = &mut done_slice[i - base];
+        if now_done != *flag {
+            *flag = now_done;
+            undone_delta += if now_done { -1 } else { 1 };
+        }
+        if !now_done {
+            undone_buf.push(iu);
+        }
+    }
+    *outcome = (local_messages, local_max_bits, undone_delta);
+}
+
 /// Cuts the active list into at most `shard_limit` contiguous shards with
 /// near-equal degree sums (stepping cost is dominated by inbox/outbox sizes,
-/// both bounded by degree). The parallel loop passes
+/// both bounded by degree), through the same
+/// [`balanced_cuts`](symbreak_graphs::sharded::balanced_cuts) quantile walk
+/// that plans [`ShardedGraph`] partitions. The parallel loop passes
 /// `threads · SHARD_OVERSUBSCRIPTION` so dynamic claiming has spare shards
 /// to rebalance with. Rounds too small to amortize a fork-join
-/// ([`MIN_ACTIVE_PER_SHARD`]) get one shard.
+/// ([`MIN_ACTIVE_PER_SHARD`]) get one shard. Weight = degree + 1: the
+/// constant covers per-activation overhead so isolated low-degree nodes
+/// still spread out.
 fn plan_shards<A: NodeAlgorithm>(
     runtime: &NodeRuntime<'_, A>,
     active: &[u32],
     shard_limit: usize,
 ) -> Vec<(usize, usize)> {
     let max_shards = shard_limit.min(active.len() / MIN_ACTIVE_PER_SHARD).max(1);
-    if max_shards == 1 {
-        return vec![(0, active.len())];
-    }
-    // Weight = degree + 1: the constant covers per-activation overhead so
-    // isolated low-degree nodes still spread out.
-    let total: u64 = active
-        .iter()
-        .map(|&i| runtime.degree_of(i as usize) as u64 + 1)
-        .sum();
-    let mut bounds = Vec::with_capacity(max_shards);
-    let mut lo = 0usize;
-    let mut acc = 0u64;
-    let mut k = 1usize;
-    for (idx, &iu) in active.iter().enumerate() {
-        acc += runtime.degree_of(iu as usize) as u64 + 1;
-        // Close shard k once its quantile is reached, as long as enough
-        // items remain to keep every later shard nonempty.
-        if k < max_shards
-            && acc * max_shards as u64 >= total * k as u64
-            && active.len() - (idx + 1) >= max_shards - k
-        {
-            bounds.push((lo, idx + 1));
-            lo = idx + 1;
-            k += 1;
-        }
-    }
-    bounds.push((lo, active.len()));
-    bounds
+    balanced_cuts(active.len(), max_shards, |idx| {
+        runtime.degree_of(active[idx] as usize) as u64 + 1
+    })
 }
 
 /// Computes the next round's active set: `receivers ∪ undone`. When every

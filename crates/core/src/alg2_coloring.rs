@@ -342,7 +342,7 @@ fn run_phases_config(
             (colors, report)
         }
         StagePipeline::Nested => {
-            let report = sim.run(config, |init| Alg2Node {
+            let mut report = sim.run(config, |init| Alg2Node {
                 own_id: init.knowledge.own_id(),
                 color: None,
                 neighbor_ids: init.knowledge.neighbor_ids(),
@@ -355,7 +355,8 @@ fn run_phases_config(
                 candidate: None,
             });
             assert!(report.completed, "Algorithm 2 phases did not quiesce");
-            (report.outputs.clone(), report)
+            let colors = std::mem::take(&mut report.outputs);
+            (colors, report)
         }
     }
 }

@@ -314,7 +314,7 @@ pub fn run_stage(
     assert_eq!(spec.active.len(), n);
     assert_eq!(spec.existing_colors.len(), n);
     let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
-    let report = sim.run(config, |init| {
+    let mut report = sim.run(config, |init| {
         let i = init.node.index();
         StageNode {
             participating: spec.participating[i],
@@ -335,7 +335,7 @@ pub fn run_stage(
         }
     });
     assert!(report.completed, "coloring stage did not quiesce");
-    let colors = report.outputs.clone();
+    let colors = std::mem::take(&mut report.outputs);
     (colors, report)
 }
 

@@ -3,7 +3,7 @@
 //!
 //! PR 1–2 made the round *engine* allocation-frugal; this module gives the
 //! paper's algorithm layer the same treatment. A [`FlatStageSpec`] replaces
-//! the nested [`StageSpec`](crate::query_coloring::StageSpec)'s
+//! the nested [`StageSpec`]'s
 //! `Vec<Vec<u64>>` palettes and `Vec<Vec<NodeId>>` active lists with
 //!
 //! * **bitset palettes** ([`PaletteBitsets`]): one flat word array, one

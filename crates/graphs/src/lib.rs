@@ -16,6 +16,11 @@
 //!   graphs and the layered tripartite graphs that underlie the Section 2
 //!   lower-bound construction.
 //! * [`properties`] — BFS, diameter, connectivity and degree statistics.
+//! * [`sharded`] — [`sharded::ShardedGraph`]: the CSR arrays partitioned
+//!   into degree-balanced contiguous shards, each a self-contained local
+//!   CSR slice with a ghost table for cross-shard neighbour references —
+//!   the substrate of the round engine's sharded stepping path and the
+//!   seam for out-of-core / NUMA-local simulation.
 //! * [`subgraph`] — induced and edge-filtered subgraphs with index mappings
 //!   back to the parent graph.
 //! * [`ids`] — ID assignments drawn from a polynomial-size ID space, as
@@ -43,6 +48,7 @@ mod graph;
 pub mod generators;
 pub mod ids;
 pub mod properties;
+pub mod sharded;
 pub mod subgraph;
 
 pub use arena::AdjacencyArena;

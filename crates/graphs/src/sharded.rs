@@ -1,0 +1,661 @@
+//! Sharded CSR graphs with ghost-node frontiers.
+//!
+//! A [`ShardedGraph`] partitions a [`Graph`]'s node-ID space into contiguous
+//! shards ([`ShardPlan`], degree-balanced so every shard carries a comparable
+//! share of the adjacency structure). Each shard owns a **local CSR slice**:
+//! its own `offsets`/`targets` arrays with neighbour references remapped to
+//! shard-local IDs. A neighbour living in *another* shard is represented by a
+//! **ghost reference** — an index into the shard's ghost table, which maps it
+//! to a `(shard, local)` pair ([`GhostRef`]) plus a pre-resolved global
+//! [`NodeId`].
+//!
+//! The point of the exercise is that a shard is self-contained: a worker
+//! holding one shard can iterate any of its nodes' neighbourhoods without
+//! touching another shard's arrays, and every cross-shard reference is
+//! explicit — exactly the shape needed to spill shards to separate NUMA
+//! nodes, memory maps or machines. The round engine in `symbreak-congest`
+//! consumes this module for its sharded stepping path
+//! (`SyncConfig::shards` / `CONGEST_SHARDS`): each worker steps its shard
+//! against the local slice and cross-shard messages travel through
+//! per-(source-shard, destination-shard) frontier buffers.
+//!
+//! Shard boundaries are *deterministic*: they depend only on the graph and
+//! the requested shard count, never on thread scheduling, so simulations
+//! produce bit-identical results at any shard count.
+//!
+//! # Example
+//!
+//! ```
+//! use symbreak_graphs::{generators, sharded::ShardedGraph, NodeId};
+//!
+//! let g = generators::cycle(10);
+//! let sg = ShardedGraph::build(&g, 3);
+//! assert_eq!(sg.num_shards(), 3);
+//! // Every node's neighbourhood can be reconstructed from its shard alone.
+//! let s = sg.plan().shard_of(NodeId(4));
+//! let shard = sg.shard(s);
+//! let local = 4 - shard.start_index() as u32;
+//! let mut nbrs: Vec<NodeId> = Vec::new();
+//! shard.write_global_row(local, &mut nbrs);
+//! assert_eq!(nbrs, g.neighbor_vec(NodeId(4)));
+//! ```
+
+use std::collections::HashMap;
+
+use crate::{Graph, NodeId};
+
+/// Tag bit marking a shard-local CSR target as a ghost-table index.
+///
+/// Local node indices and ghost indices therefore both fit in 31 bits, which
+/// bounds sharded graphs to `2³¹ − 1` nodes — the same ceiling the CSR
+/// `u32` offsets already impose on half-edges.
+const GHOST_BIT: u32 = 1 << 31;
+
+/// Cuts `0..len` into at most `max_shards` contiguous ranges with near-equal
+/// weight sums, where `weight(i)` is the cost of item `i`.
+///
+/// This is the quantile cut shared by [`ShardPlan::degree_balanced`] and the
+/// round engine's per-round active-list sharding (`congest::sync`): walk the
+/// items accumulating weight and close shard `k` once the `k`-th quantile of
+/// the total weight is reached — early if the remaining items are only just
+/// enough to keep every later shard nonempty. Cuts depend only on `len`,
+/// `max_shards` and the weights — never on execution order — so downstream
+/// merges that walk shards in shard order are deterministic.
+///
+/// Returns exactly `min(max_shards, len)` ascending, contiguous, nonempty
+/// `[start, end)` ranges covering `0..len` (a single `(0, 0)` range when
+/// `len == 0`).
+pub fn balanced_cuts<W>(len: usize, max_shards: usize, weight: W) -> Vec<(usize, usize)>
+where
+    W: Fn(usize) -> u64,
+{
+    let max_shards = max_shards.min(len).max(1);
+    if max_shards == 1 {
+        return vec![(0, len)];
+    }
+    let total: u64 = (0..len).map(&weight).sum();
+    let mut bounds = Vec::with_capacity(max_shards);
+    let mut lo = 0usize;
+    let mut acc = 0u64;
+    let mut k = 1usize;
+    for idx in 0..len {
+        acc += weight(idx);
+        let remaining = len - (idx + 1);
+        // Close shard k at its weight quantile — or immediately when the
+        // remaining items are only just enough to hand every later shard one
+        // item, which keeps the shard count exact even under weight skew.
+        if k < max_shards
+            && (acc * max_shards as u64 >= total * k as u64 || remaining == max_shards - k)
+            && remaining >= max_shards - k
+        {
+            bounds.push((lo, idx + 1));
+            lo = idx + 1;
+            k += 1;
+        }
+    }
+    bounds.push((lo, len));
+    bounds
+}
+
+/// A contiguous, degree-balanced partition of a graph's node-ID space into
+/// shards.
+///
+/// Shard `s` owns the global node indices `starts(s) .. starts(s + 1)`.
+/// Contiguity is what keeps the plan cheap: membership is one comparison,
+/// lookup is a binary search over `num_shards + 1` boundaries, and the round
+/// engine's deterministic frontier merge only needs shards walked in
+/// ascending order to reproduce the sequential staging order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Shard boundaries: `num_shards + 1` entries, first `0`, last `n`.
+    starts: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Plans at most `shards` contiguous shards over `graph`'s nodes,
+    /// balanced by `degree + 1` (the `+ 1` covers per-node fixed costs, so
+    /// isolated nodes still spread out). The shard count is clamped to the
+    /// node count; an empty graph gets one empty shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn degree_balanced(graph: &Graph, shards: usize) -> Self {
+        assert!(shards > 0, "a shard plan needs at least one shard");
+        let n = graph.num_nodes();
+        let cuts = balanced_cuts(n, shards, |v| graph.degree(NodeId(v as u32)) as u64 + 1);
+        let mut starts = Vec::with_capacity(cuts.len() + 1);
+        starts.push(0u32);
+        for &(_, end) in &cuts {
+            starts.push(end as u32);
+        }
+        ShardPlan { starts }
+    }
+
+    /// Number of shards in the plan (at least 1).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The global node-index range `[start, end)` owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[inline]
+    pub fn range(&self, s: usize) -> (u32, u32) {
+        (self.starts[s], self.starts[s + 1])
+    }
+
+    /// The shard owning node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the planned node range.
+    #[inline]
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        debug_assert!(v.0 < *self.starts.last().unwrap() || self.num_shards() == 1);
+        // First boundary strictly greater than v, minus one.
+        self.starts.partition_point(|&s| s <= v.0) - 1
+    }
+
+    /// The shard boundaries: `num_shards() + 1` ascending entries, first `0`,
+    /// last `n`.
+    #[inline]
+    pub fn starts(&self) -> &[u32] {
+        &self.starts
+    }
+}
+
+/// A reference to a node owned by another shard: the owning shard's index
+/// and the node's local index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GhostRef {
+    /// Index of the shard that owns the referenced node.
+    pub shard: u32,
+    /// The node's shard-local index inside that shard.
+    pub local: u32,
+}
+
+/// One entry of a shard-local CSR row: either a node of the same shard (by
+/// local index) or a ghost (by index into the shard's ghost table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardedTarget {
+    /// A neighbour owned by the same shard, as a shard-local node index.
+    Local(u32),
+    /// A neighbour owned by another shard, as an index into
+    /// [`GraphShard::ghost`] / [`GraphShard::ghost_global`].
+    Ghost(u32),
+}
+
+/// One shard of a [`ShardedGraph`]: a self-contained CSR slice over a
+/// contiguous global node range, with cross-shard neighbours routed through
+/// the shard's ghost table.
+///
+/// Rows preserve the parent graph's neighbour order (ascending by global
+/// [`NodeId`]), so resolving a row reproduces [`Graph::neighbors`] exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphShard {
+    /// Global node index of local node 0.
+    start: u32,
+    /// Local CSR offsets: `len() + 1` entries into `targets`.
+    offsets: Vec<u32>,
+    /// Encoded [`ShardedTarget`]s: bit 31 clear = local index, set = ghost
+    /// index. Stored behind the [`NodeId`] wrapper so that *identity* shards
+    /// (see [`GraphShard::global_row`]) can lend their rows out as global
+    /// neighbour slices without a translation pass.
+    targets: Vec<NodeId>,
+    /// Whether local encodings coincide with global IDs: `start == 0` and
+    /// the ghost table is empty (always true for single-shard plans). Such
+    /// rows are borrowable as-is.
+    identity: bool,
+    /// Ghost table: one entry per *distinct* cross-shard neighbour, in first
+    /// encounter order over the shard's rows.
+    ghosts: Vec<GhostRef>,
+    /// `ghosts[i]` pre-resolved to its global ID (`starts[shard] + local`),
+    /// kept alongside so the hot row-translation path is one array read.
+    ghost_globals: Vec<NodeId>,
+}
+
+impl GraphShard {
+    /// Global [`NodeId`] of this shard's first node.
+    #[inline]
+    pub fn start(&self) -> NodeId {
+        NodeId(self.start)
+    }
+
+    /// Global node *index* of this shard's first node.
+    #[inline]
+    pub fn start_index(&self) -> usize {
+        self.start as usize
+    }
+
+    /// Number of nodes owned by this shard.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the shard owns no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Degree of the shard-local node `local`.
+    #[inline]
+    pub fn degree(&self, local: u32) -> usize {
+        let i = local as usize;
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The CSR row of local node `local`, decoded to [`ShardedTarget`]s, in
+    /// the parent graph's neighbour order.
+    pub fn targets(&self, local: u32) -> impl Iterator<Item = ShardedTarget> + '_ {
+        self.raw_row(local).iter().map(|&t| {
+            if t.0 & GHOST_BIT == 0 {
+                ShardedTarget::Local(t.0)
+            } else {
+                ShardedTarget::Ghost(t.0 & !GHOST_BIT)
+            }
+        })
+    }
+
+    /// The `(shard, local)` pair behind ghost index `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not a valid ghost index of this shard.
+    #[inline]
+    pub fn ghost(&self, g: u32) -> GhostRef {
+        self.ghosts[g as usize]
+    }
+
+    /// The global ID behind ghost index `g` (equals
+    /// `plan.range(ghost(g).shard).0 + ghost(g).local`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not a valid ghost index of this shard.
+    #[inline]
+    pub fn ghost_global(&self, g: u32) -> NodeId {
+        self.ghost_globals[g as usize]
+    }
+
+    /// Number of distinct cross-shard neighbours referenced by this shard.
+    #[inline]
+    pub fn num_ghosts(&self) -> usize {
+        self.ghosts.len()
+    }
+
+    /// Resolves a [`ShardedTarget`] of this shard back to a global
+    /// [`NodeId`].
+    #[inline]
+    pub fn resolve(&self, target: ShardedTarget) -> NodeId {
+        match target {
+            ShardedTarget::Local(l) => NodeId(self.start + l),
+            ShardedTarget::Ghost(g) => self.ghost_global(g),
+        }
+    }
+
+    /// Overwrites `out` with the global neighbour list of local node
+    /// `local`, in the parent graph's (ascending) neighbour order.
+    ///
+    /// This is the round engine's hot translation: one branch and one add or
+    /// one table read per neighbour, writing into a reused scratch buffer.
+    #[inline]
+    pub fn write_global_row(&self, local: u32, out: &mut Vec<NodeId>) {
+        out.clear();
+        // Exact-size iterator: `extend` reserves once and skips per-element
+        // capacity checks — this runs once per activation in the engine.
+        out.extend(self.raw_row(local).iter().map(|&t| {
+            if t.0 & GHOST_BIT == 0 {
+                NodeId(self.start + t.0)
+            } else {
+                self.ghost_globals[(t.0 & !GHOST_BIT) as usize]
+            }
+        }));
+    }
+
+    /// Borrows the row of `local` directly as *global* [`NodeId`]s — only
+    /// possible on an **identity shard**, where local encodings coincide
+    /// with global IDs (`start == 0`, no ghosts; always the case for
+    /// single-shard plans). Returns `None` when a translation through
+    /// [`GraphShard::write_global_row`] is required, so callers can make
+    /// sharding at shard count 1 a true zero-cost indirection.
+    #[inline]
+    pub fn global_row(&self, local: u32) -> Option<&[NodeId]> {
+        if self.identity {
+            Some(self.raw_row(local))
+        } else {
+            None
+        }
+    }
+
+    /// The raw encoded CSR row of `local`.
+    #[inline]
+    fn raw_row(&self, local: u32) -> &[NodeId] {
+        let i = local as usize;
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// A [`Graph`] partitioned into per-shard CSR slices with ghost-node
+/// frontiers — see the [module docs](self) for the full picture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedGraph {
+    plan: ShardPlan,
+    shards: Vec<GraphShard>,
+    num_nodes: usize,
+}
+
+impl ShardedGraph {
+    /// Shards `graph` into at most `shards` degree-balanced contiguous
+    /// shards (see [`ShardPlan::degree_balanced`] for clamping rules) and
+    /// builds every shard's local CSR slice and ghost table in one pass over
+    /// the graph's rows — `O(n + m)` time, independent of the shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or if the graph has `2³¹` or more nodes (the
+    /// encoded targets reserve bit 31 as the ghost tag).
+    pub fn build(graph: &Graph, shards: usize) -> Self {
+        Self::with_plan(graph, ShardPlan::degree_balanced(graph, shards))
+    }
+
+    /// Like [`ShardedGraph::build`] with a caller-supplied [`ShardPlan`]
+    /// (e.g. uniform cuts, or a plan reused across graphs of the same size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not cover exactly `graph`'s nodes or if the
+    /// graph has `2³¹` or more nodes.
+    pub fn with_plan(graph: &Graph, plan: ShardPlan) -> Self {
+        let n = graph.num_nodes();
+        assert!(
+            (n as u64) < GHOST_BIT as u64,
+            "sharded graphs support at most 2^31 - 1 nodes (bit 31 tags ghosts)"
+        );
+        assert_eq!(
+            *plan.starts.last().unwrap() as usize,
+            n,
+            "shard plan covers {} nodes but the graph has {n}",
+            *plan.starts.last().unwrap()
+        );
+        let mut shards = Vec::with_capacity(plan.num_shards());
+        // First-encounter ghost numbering, rebuilt per shard. Deterministic:
+        // rows are walked in ascending node order and each row in ascending
+        // neighbour order.
+        let mut ghost_index: HashMap<u32, u32> = HashMap::new();
+        for s in 0..plan.num_shards() {
+            let (lo, hi) = plan.range(s);
+            let mut offsets = Vec::with_capacity((hi - lo) as usize + 1);
+            let mut targets =
+                Vec::with_capacity((lo..hi).map(|v| graph.degree(NodeId(v))).sum::<usize>());
+            let mut ghosts = Vec::new();
+            let mut ghost_globals = Vec::new();
+            ghost_index.clear();
+            offsets.push(0u32);
+            for v in lo..hi {
+                for w in graph.neighbors(NodeId(v)) {
+                    if (lo..hi).contains(&w.0) {
+                        targets.push(NodeId(w.0 - lo));
+                    } else {
+                        let next = ghosts.len() as u32;
+                        let g = *ghost_index.entry(w.0).or_insert_with(|| {
+                            let t = plan.shard_of(w);
+                            ghosts.push(GhostRef {
+                                shard: t as u32,
+                                local: w.0 - plan.starts[t],
+                            });
+                            ghost_globals.push(w);
+                            next
+                        });
+                        targets.push(NodeId(GHOST_BIT | g));
+                    }
+                }
+                offsets.push(targets.len() as u32);
+            }
+            let identity = lo == 0 && ghosts.is_empty();
+            shards.push(GraphShard {
+                start: lo,
+                offsets,
+                targets,
+                identity,
+                ghosts,
+                ghost_globals,
+            });
+        }
+        ShardedGraph {
+            plan,
+            shards,
+            num_nodes: n,
+        }
+    }
+
+    /// The shard plan (boundaries and lookup).
+    #[inline]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards (at least 1; at most the node count).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of nodes of the underlying graph.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[inline]
+    pub fn shard(&self, s: usize) -> &GraphShard {
+        &self.shards[s]
+    }
+
+    /// Iterates over all shards in ascending node order.
+    pub fn shards(&self) -> impl Iterator<Item = &GraphShard> + '_ {
+        self.shards.iter()
+    }
+
+    /// Total number of ghost-table entries across all shards (distinct
+    /// cross-shard neighbour references; a measure of frontier size).
+    pub fn total_ghosts(&self) -> usize {
+        self.shards.iter().map(GraphShard::num_ghosts).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn balanced_cuts_cover_contiguously() {
+        let cuts = balanced_cuts(100, 4, |_| 1);
+        assert_eq!(cuts.len(), 4);
+        assert_eq!(cuts[0].0, 0);
+        assert_eq!(cuts.last().unwrap().1, 100);
+        for w in cuts.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        for &(lo, hi) in &cuts {
+            assert!((20..=30).contains(&(hi - lo)), "unbalanced: {}", hi - lo);
+        }
+    }
+
+    #[test]
+    fn balanced_cuts_clamp_to_len() {
+        assert_eq!(balanced_cuts(3, 8, |_| 1).len(), 3);
+        assert_eq!(balanced_cuts(0, 4, |_| 1), vec![(0, 0)]);
+        assert_eq!(balanced_cuts(5, 1, |_| 1), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn balanced_cuts_follow_weights() {
+        // One heavy item at the front: it should get its own shard.
+        let cuts = balanced_cuts(10, 2, |i| if i == 0 { 100 } else { 1 });
+        assert_eq!(cuts, vec![(0, 1), (1, 10)]);
+    }
+
+    #[test]
+    fn plan_shard_of_matches_ranges() {
+        let g = generators::cycle(100);
+        let plan = ShardPlan::degree_balanced(&g, 7);
+        assert_eq!(plan.num_shards(), 7);
+        for s in 0..plan.num_shards() {
+            let (lo, hi) = plan.range(s);
+            assert!(lo < hi, "empty shard {s}");
+            for v in lo..hi {
+                assert_eq!(plan.shard_of(NodeId(v)), s);
+            }
+        }
+        assert_eq!(plan.starts().first(), Some(&0));
+        assert_eq!(plan.starts().last(), Some(&100));
+    }
+
+    #[test]
+    fn star_plan_is_degree_balanced() {
+        // The star centre carries a third of all degree weight, so the first
+        // shard must stay far smaller than the second to balance.
+        let g = generators::star(100);
+        let plan = ShardPlan::degree_balanced(&g, 2);
+        let weight_of = |(lo, hi): (u32, u32)| -> u64 {
+            (lo..hi).map(|v| g.degree(NodeId(v)) as u64 + 1).sum()
+        };
+        let (w0, w1) = (weight_of(plan.range(0)), weight_of(plan.range(1)));
+        let max_item = g.max_degree() as u64 + 1;
+        assert!(
+            w0.abs_diff(w1) <= max_item,
+            "unbalanced star cut: {w0} vs {w1}"
+        );
+        let (lo, hi) = plan.range(0);
+        assert!(hi - lo < 40, "first shard absorbed too many leaves");
+    }
+
+    /// Asserts that every row of every shard resolves back to the parent
+    /// graph's neighbour list and that every ghost reference round-trips
+    /// through its `(shard, local)` pair.
+    fn assert_roundtrip(g: &Graph, shards: usize) {
+        let sg = ShardedGraph::build(g, shards);
+        assert_eq!(sg.num_nodes(), g.num_nodes());
+        let plan = sg.plan();
+        let mut scratch = Vec::new();
+        let mut cross_edges = 0usize;
+        for s in 0..sg.num_shards() {
+            let shard = sg.shard(s);
+            let (lo, hi) = plan.range(s);
+            assert_eq!(shard.start(), NodeId(lo));
+            assert_eq!(shard.len(), (hi - lo) as usize);
+            for v in lo..hi {
+                let local = v - lo;
+                let expected = g.neighbor_vec(NodeId(v));
+                assert_eq!(shard.degree(local), expected.len());
+                // Decoded targets resolve in order.
+                let resolved: Vec<NodeId> =
+                    shard.targets(local).map(|t| shard.resolve(t)).collect();
+                assert_eq!(resolved, expected, "row of v{v} at {shards} shards");
+                // The hot-path translation agrees with the decoded form.
+                shard.write_global_row(local, &mut scratch);
+                assert_eq!(scratch, expected);
+                // Ghost entries round-trip: (shard, local) -> global.
+                for t in shard.targets(local) {
+                    match t {
+                        ShardedTarget::Local(l) => {
+                            assert_eq!(plan.shard_of(NodeId(lo + l)), s);
+                        }
+                        ShardedTarget::Ghost(gi) => {
+                            cross_edges += 1;
+                            let ghost = shard.ghost(gi);
+                            assert_ne!(ghost.shard as usize, s, "ghost into own shard");
+                            let (glo, ghi) = plan.range(ghost.shard as usize);
+                            let global = NodeId(glo + ghost.local);
+                            assert!(global.0 < ghi);
+                            assert_eq!(global, shard.ghost_global(gi));
+                            assert_eq!(plan.shard_of(global), ghost.shard as usize);
+                        }
+                    }
+                }
+            }
+        }
+        if shards == 1 {
+            assert_eq!(sg.total_ghosts(), 0);
+            assert_eq!(cross_edges, 0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_on_graph_families() {
+        for g in [
+            generators::cycle(37),
+            generators::clique(16),
+            generators::star(25),
+            generators::path(12),
+            Graph::empty(9),
+        ] {
+            for shards in [1, 2, 3, 5, 8] {
+                assert_roundtrip(&g, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_shard_lends_global_rows() {
+        let g = generators::cycle(12);
+        let sg = ShardedGraph::build(&g, 1);
+        let shard = sg.shard(0);
+        for v in 0..12u32 {
+            let row = shard
+                .global_row(v)
+                .expect("single-shard plans are identity");
+            assert_eq!(row, g.neighbor_vec(NodeId(v)).as_slice());
+        }
+        // Multi-shard plans of a connected graph have ghosts everywhere.
+        let sg2 = ShardedGraph::build(&g, 3);
+        for s in 0..3 {
+            assert!(sg2.shard(s).global_row(0).is_none());
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_node_count() {
+        let g = generators::path(3);
+        let sg = ShardedGraph::build(&g, 64);
+        assert_eq!(sg.num_shards(), 3);
+        assert_roundtrip(&g, 64);
+    }
+
+    #[test]
+    fn empty_graph_gets_one_empty_shard() {
+        let sg = ShardedGraph::build(&Graph::empty(0), 4);
+        assert_eq!(sg.num_shards(), 1);
+        assert!(sg.shard(0).is_empty());
+        assert_eq!(sg.total_ghosts(), 0);
+    }
+
+    #[test]
+    fn ghosts_are_deduplicated_per_shard() {
+        // In a clique split in two, every node of shard 0 references every
+        // node of shard 1; the ghost table holds each only once.
+        let g = generators::clique(8);
+        let sg = ShardedGraph::build(&g, 2);
+        let other = sg.shard(1).len();
+        assert_eq!(sg.shard(0).num_ghosts(), other);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let g = generators::path(2);
+        let _ = ShardedGraph::build(&g, 0);
+    }
+}

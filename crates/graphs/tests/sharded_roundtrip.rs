@@ -1,0 +1,87 @@
+//! Differential tests for [`symbreak_graphs::sharded`]: every shard-local
+//! CSR row of a [`ShardedGraph`] must resolve back to the parent graph's
+//! neighbour list, and every ghost-table entry must round-trip through its
+//! `(shard, local)` pair — across random graphs and shard counts.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symbreak_graphs::sharded::{ShardedGraph, ShardedTarget};
+use symbreak_graphs::{generators, Graph, NodeId};
+
+/// Checks one `(graph, shard count)` pair exhaustively: row reconstruction,
+/// ghost round-trips, plan consistency and the cross-shard edge census.
+fn check(g: &Graph, shards: usize, label: &str) {
+    let sg = ShardedGraph::build(g, shards);
+    let plan = sg.plan();
+    assert_eq!(sg.num_nodes(), g.num_nodes());
+    let mut scratch = Vec::new();
+    let mut cross_refs = 0usize;
+    for s in 0..sg.num_shards() {
+        let shard = sg.shard(s);
+        let (lo, hi) = plan.range(s);
+        for v in lo..hi {
+            let local = v - lo;
+            shard.write_global_row(local, &mut scratch);
+            assert_eq!(
+                scratch,
+                g.neighbor_vec(NodeId(v)),
+                "{label}: row of v{v} at {shards} shards"
+            );
+            for t in shard.targets(local) {
+                if let ShardedTarget::Ghost(gi) = t {
+                    cross_refs += 1;
+                    let ghost = shard.ghost(gi);
+                    let owner = ghost.shard as usize;
+                    assert_ne!(owner, s, "{label}: ghost points into its own shard");
+                    let global = NodeId(plan.range(owner).0 + ghost.local);
+                    assert_eq!(global, shard.ghost_global(gi), "{label}: ghost global");
+                    assert_eq!(plan.shard_of(global), owner, "{label}: ghost owner");
+                    assert!(
+                        g.has_edge(NodeId(v), global),
+                        "{label}: ghost names a non-edge"
+                    );
+                }
+            }
+        }
+    }
+    // Every cross-shard half-edge appears exactly once as a ghost target, so
+    // the census over rows equals the direct count over the edge list.
+    let expected: usize = g
+        .edges()
+        .map(|(_, u, v)| {
+            if plan.shard_of(u) != plan.shard_of(v) {
+                2
+            } else {
+                0
+            }
+        })
+        .sum();
+    assert_eq!(
+        cross_refs, expected,
+        "{label}: cross-shard half-edge census"
+    );
+}
+
+#[test]
+fn ghost_tables_roundtrip_on_random_graphs() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_gnp(80, 0.08, &mut rng);
+        for shards in [1, 2, 3, 5, 9] {
+            check(&g, shards, &format!("gnp-{seed}"));
+        }
+    }
+}
+
+#[test]
+fn ghost_tables_roundtrip_on_skewed_graphs() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let pl = generators::power_law(300, 3, &mut rng);
+    let star = generators::star(120);
+    let tri = generators::layered_tripartite(4);
+    for g in [&pl, &star, &tri] {
+        for shards in [2, 4, 8] {
+            check(g, shards, "skewed");
+        }
+    }
+}
