@@ -28,6 +28,14 @@
 //! `BENCH_sim_engine.json` (one JSON object per line, `threads`/`shards`
 //! fields per row; the file is regenerated, not appended).
 //!
+//! A **trace-recording row** (`flood_trace`) runs the cycle flood at
+//! n = 10⁵ with the full message trace captured twice — once into the
+//! in-RAM `Trace` and once spilled through
+//! [`symbreak_congest::trace_store::MmapTraceObserver`] — asserts the
+//! reloaded `StoredTrace` equals the in-RAM trace, and reports both
+//! recording times plus the on-disk size. Before the spill layer this row
+//! was the scale at which full-trace recording stopped being viable.
+//!
 //! Set `SIM_ENGINE_SMOKE=1` to run a reduced-n regression smoke (used by
 //! CI): the same workloads and asserts at a fraction of the size, with no
 //! JSON artifact.
@@ -38,6 +46,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use symbreak_congest::reference::NaiveSyncSimulator;
+use symbreak_congest::trace_store::MmapTraceObserver;
 use symbreak_congest::{
     ExecutionReport, KtLevel, Message, NodeAlgorithm, NodeInit, RoundContext, SyncConfig,
     SyncSimulator,
@@ -424,6 +433,7 @@ fn compare_engines() {
             }
         }
     }
+    trace_row(&mut json);
     if cores >= 4 {
         let ratio = mt_flood_ratio.expect("flood@random_d8_100000 must have run multi-threaded");
         // Only the full-size run is a fair test of parallel stepping: at
@@ -443,6 +453,77 @@ fn compare_engines() {
         }
     }
     println!();
+}
+
+/// The trace-recording row: one flood over the 10⁵-node cycle with the
+/// complete message trace captured through both recording paths. The
+/// in-RAM `Trace` is the reference; the spilled `StoredTrace` must reload
+/// equal to it (round counts, per-round messages, byte-for-byte payloads)
+/// — the acceptance check of the spill layer at the scale that motivated
+/// it. Runs single-threaded: active observers pin runs to the sequential
+/// loop anyway.
+fn trace_row(json: &mut Option<std::fs::File>) {
+    use std::io::Write;
+
+    let shrink = if smoke() { 16 } else { 1 };
+    let n = 100_000 / shrink;
+    let graph = generators::cycle(n);
+    let ids = IdAssignment::identity(n);
+    let sim = SyncSimulator::new(&graph, &ids, KtLevel::KT1);
+
+    // In-RAM reference: the built-in `record_trace` instrumentation.
+    let t = Instant::now();
+    let ram_report = sim.run(
+        SyncConfig {
+            record_trace: true,
+            threads: 1,
+            ..SyncConfig::default()
+        },
+        |_| Flood::new(),
+    );
+    let ram_ns = t.elapsed().as_nanos() as f64;
+    let ram_trace = ram_report.trace.expect("trace requested");
+
+    // Spilled: the same (deterministic) run through the observer seam.
+    let mut obs = MmapTraceObserver::create_temp().expect("create spill file");
+    let t = Instant::now();
+    let spill_report = sim.run_observed(
+        SyncConfig::default().with_threads(1),
+        |_| Flood::new(),
+        &mut obs,
+    );
+    let stored = obs.finish().expect("seal spill file");
+    let spill_ns = t.elapsed().as_nanos() as f64;
+
+    assert_eq!(spill_report.messages, ram_report.messages);
+    assert_eq!(stored.num_messages(), ram_report.messages);
+    assert!(
+        stored.same_as(&ram_trace).expect("read stored trace"),
+        "stored trace diverged from the in-RAM trace"
+    );
+    let bytes = std::fs::metadata(stored.path()).map_or(0, |m| m.len());
+    println!(
+        "{:<22} {:<13} {:>3} {:>3} {:>12} {:>12.2}ms {:>12.2}ms {:>7.1}MiB",
+        format!("cycle_{n}"),
+        "flood_trace",
+        1,
+        0,
+        ram_report.messages,
+        spill_ns / 1e6,
+        ram_ns / 1e6,
+        bytes as f64 / (1024.0 * 1024.0),
+    );
+    if let Some(f) = json.as_mut() {
+        let _ = writeln!(
+            f,
+            "{{\"bench\":\"sim_engine\",\"graph\":\"cycle_{n}\",\"workload\":\"flood_trace\",\
+             \"n\":{n},\"m\":{},\"threads\":1,\"shards\":0,\"messages\":{},\
+             \"spill_ns\":{spill_ns:.0},\"ram_ns\":{ram_ns:.0},\"spill_bytes\":{bytes}}}",
+            graph.num_edges(),
+            ram_report.messages,
+        );
+    }
+    stored.remove().expect("spill hygiene");
 }
 
 fn bench(c: &mut Criterion) {

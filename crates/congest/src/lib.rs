@@ -70,6 +70,7 @@ mod node;
 pub mod reference;
 mod sync;
 pub mod trace;
+pub mod trace_store;
 
 pub use engine::{NoopObserver, RoundObserver};
 pub use error::SimError;

@@ -170,6 +170,23 @@ impl SyncConfig {
         0
     }
 
+    /// Builds the [`ShardedGraph`] this configuration's runs would otherwise
+    /// construct **per call** — the caching seam for multi-stage algorithm
+    /// runs. Returns `Some` exactly when sharded stepping would engage (the
+    /// resolved shard count is nonzero and the degree-balanced plan has more
+    /// than one shard; single-shard plans are the identity partition and run
+    /// unsharded). Attach the result once via
+    /// [`SyncSimulator::with_sharded_graph`] and every subsequent `run` on
+    /// that simulator reuses it instead of rebuilding ghost tables.
+    pub fn prebuild_sharded(&self, graph: &Graph) -> Option<ShardedGraph> {
+        let shards = self.resolved_shards();
+        if shards == 0 {
+            return None;
+        }
+        let plan = ShardPlan::degree_balanced(graph, shards);
+        (plan.num_shards() > 1).then(|| ShardedGraph::with_plan(graph, plan))
+    }
+
     /// The effective thread count: an explicit setting wins, then the
     /// `CONGEST_THREADS` environment variable, then the CPU count.
     pub fn resolved_threads(&self) -> usize {
@@ -232,6 +249,10 @@ pub struct SyncSimulator<'g> {
     graph: &'g Graph,
     ids: &'g IdAssignment,
     level: KtLevel,
+    /// A caller-prebuilt sharded view of `graph`, reused across `run` calls
+    /// instead of rebuilding the ghost tables per call (see
+    /// [`SyncSimulator::with_sharded_graph`]).
+    sharded: Option<&'g ShardedGraph>,
 }
 
 impl<'g> SyncSimulator<'g> {
@@ -262,7 +283,52 @@ impl<'g> SyncSimulator<'g> {
                 id_nodes: ids.len(),
             });
         }
-        Ok(SyncSimulator { graph, ids, level })
+        Ok(SyncSimulator {
+            graph,
+            ids,
+            level,
+            sharded: None,
+        })
+    }
+
+    /// Attaches a prebuilt [`ShardedGraph`] of this simulator's graph.
+    ///
+    /// Every `run` whose configuration engages sharded stepping then reuses
+    /// it instead of rebuilding the shard slices and ghost tables per call —
+    /// the fix for multi-stage algorithm runs (e.g. Algorithm 1's per-level
+    /// stages), which previously paid ghost-table construction once *per
+    /// stage*. Build the graph once with [`SyncConfig::prebuild_sharded`]
+    /// (which also encodes the "more than one shard" engagement rule) and
+    /// attach it here. The configuration stays the gate: a run whose
+    /// resolved shard count is `0` ignores the attachment and steps
+    /// unsharded, and an attached graph with a single shard is the identity
+    /// partition and keeps the unsharded fast path. When sharding does
+    /// engage, the attached graph's own shard count wins over the
+    /// configured one (they were planned from the same rule, but the
+    /// attachment is authoritative).
+    ///
+    /// Results are unaffected either way: reports are bit-identical at any
+    /// shard count, prebuilt or not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sharded` does not cover exactly this simulator's graph
+    /// (node count and half-edge count are checked — two different graphs
+    /// of the same shape would still step identically, but a mismatched
+    /// adjacency is caught).
+    pub fn with_sharded_graph(mut self, sharded: &'g ShardedGraph) -> Self {
+        assert_eq!(
+            sharded.num_nodes(),
+            self.graph.num_nodes(),
+            "prebuilt sharded graph covers a different node count"
+        );
+        assert_eq!(
+            sharded.num_half_edges(),
+            self.graph.degree_sum(),
+            "prebuilt sharded graph covers a different adjacency"
+        );
+        self.sharded = Some(sharded);
+        self
     }
 
     /// The underlying graph.
@@ -350,29 +416,41 @@ impl<'g> SyncSimulator<'g> {
         let threads = config.resolved_threads();
         let shards = config.resolved_shards();
         if shards > 0 {
-            let plan = ShardPlan::degree_balanced(self.graph, shards);
-            if plan.num_shards() > 1 {
-                // Sharded stepping: the adjacency is only touched through
-                // per-shard local CSR slices. Multi-threaded uninstrumented
-                // runs take the frontier-buffer loop (one worker per shard);
-                // everything else walks the shards in order on the
-                // sequential loop. Reports are bit-identical either way.
-                let sharded = ShardedGraph::with_plan(self.graph, plan);
-                if !O::ACTIVE && threads > 1 {
-                    return self.run_sharded_parallel(config, make, &sharded, threads);
+            // Sharded stepping: the adjacency is only touched through
+            // per-shard local CSR slices. The configuration is the gate
+            // (`shards == 0` steps unsharded even with an attachment); when
+            // it engages, a prebuilt sharded graph (attached via
+            // `with_sharded_graph`) is reused as-is and without one the
+            // shard slices and ghost tables are built here, once per `run`
+            // call. Single-shard plans are the *identity*
+            // partition — the one shard's local CSR slice is the global
+            // adjacency verbatim (start 0, no ghosts) — so they fall
+            // through to the unsharded loops below, which already step
+            // them optimally: sharding only costs anything from two shards
+            // up, where it buys frontier isolation.
+            let built;
+            let sharded = match self.sharded {
+                Some(pre) => (pre.num_shards() > 1).then_some(pre),
+                None => {
+                    let plan = ShardPlan::degree_balanced(self.graph, shards);
+                    if plan.num_shards() > 1 {
+                        built = ShardedGraph::with_plan(self.graph, plan);
+                        Some(&built)
+                    } else {
+                        None
+                    }
                 }
-                return self.run_sequential::<_, _, _, true>(
-                    config,
-                    make,
-                    observer,
-                    Some(&sharded),
-                );
+            };
+            if let Some(sharded) = sharded {
+                // Multi-threaded uninstrumented runs take the
+                // frontier-buffer loop (one worker per shard); everything
+                // else walks the shards in order on the sequential loop.
+                // Reports are bit-identical either way.
+                if !O::ACTIVE && threads > 1 {
+                    return self.run_sharded_parallel(config, make, sharded, threads);
+                }
+                return self.run_sequential::<_, _, _, true>(config, make, observer, Some(sharded));
             }
-            // A single-shard plan is the *identity* partition: its one
-            // shard's local CSR slice is the global adjacency verbatim
-            // (start 0, no ghosts), so the unsharded loops below already
-            // step it optimally — sharding only costs anything from two
-            // shards up, where it buys frontier isolation.
         }
         if !O::ACTIVE && threads > 1 {
             self.run_parallel(config, make, threads)
@@ -1272,6 +1350,48 @@ mod tests {
                 id_nodes: 2
             }
         );
+    }
+
+    #[test]
+    fn prebuilt_sharded_graph_is_reused_and_bit_identical() {
+        let g = generators::cycle(64);
+        let ids = IdAssignment::identity(64);
+        let config = SyncConfig::default().with_threads(1).with_shards(4);
+        let baseline =
+            SyncSimulator::new(&g, &ids, KtLevel::KT1).run(config, |_| Announce { done: false });
+
+        let prebuilt = config.prebuild_sharded(&g).expect("4 shards engage");
+        let sim = SyncSimulator::new(&g, &ids, KtLevel::KT1).with_sharded_graph(&prebuilt);
+        // Several runs on one simulator, all reusing the one prebuilt graph
+        // (the no-rebuild guarantee itself is asserted by the isolated
+        // `sharded_cache` regression suite in `symbreak-core`, where the
+        // process-wide construction counter cannot race other tests).
+        for _ in 0..3 {
+            let report = sim.run(config, |_| Announce { done: false });
+            assert_eq!(report, baseline);
+        }
+    }
+
+    #[test]
+    fn prebuild_sharded_encodes_the_engagement_rule() {
+        let g = generators::cycle(8);
+        // Identity-partition configs build nothing.
+        assert!(SyncConfig::default()
+            .with_shards(1)
+            .prebuild_sharded(&g)
+            .is_none());
+        let sg = SyncConfig::default().with_shards(3).prebuild_sharded(&g);
+        assert_eq!(sg.expect("3 shards engage").num_shards(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different node count")]
+    fn mismatched_prebuilt_sharded_graph_is_rejected() {
+        let g = generators::cycle(8);
+        let other = generators::cycle(9);
+        let ids = IdAssignment::identity(8);
+        let sg = ShardedGraph::build(&other, 2);
+        let _ = SyncSimulator::new(&g, &ids, KtLevel::KT1).with_sharded_graph(&sg);
     }
 
     #[test]

@@ -1,0 +1,659 @@
+//! Spill-to-disk trace storage: record full message traces without holding
+//! them in RAM.
+//!
+//! The lower-bound experiments need *complete* per-round traces
+//! (Definition 2.1), but [`crate::trace::Trace`] buffers every message in a
+//! `Vec<Vec<_>>`, which caps trace-recording runs well below the n = 10⁵
+//! scale the engine itself reaches. This module streams the trace to an
+//! **append-only file** instead, through the existing [`RoundObserver`]
+//! seam — no engine changes: an active observer already pins the run to the
+//! sequential loop, so messages arrive in deterministic order and there is
+//! no cross-thread ordering problem.
+//!
+//! * [`MmapTraceObserver`] — the writer. Every message is encoded as one
+//!   fixed-width [`RECORD_BYTES`]-byte record behind a `BufWriter`; round
+//!   boundaries accumulate in a tiny in-memory index (8 bytes per round)
+//!   appended as a footer by [`MmapTraceObserver::finish`]. Peak memory is
+//!   the write buffer plus the round index, independent of the message
+//!   count.
+//! * [`StoredTrace`] — the reader. Fixed-width records make the data region
+//!   position-indexed, so round `i` is a handful of exact-range block reads
+//!   (one for typical rounds): on Unix positional `read_exact_at` (no seek
+//!   state, `&self`-safe — the closest safe-Rust equivalent of an mmap'd
+//!   view; the layout is exactly what a memory map would expose zero-copy),
+//!   elsewhere a buffered seek-and-read fallback. Supports random round access, streaming iteration,
+//!   [`StoredTrace::same_as`] (full equality against an in-RAM [`Trace`])
+//!   and [`StoredTrace::to_trace`] rehydration.
+//!
+//! Files are placed explicitly ([`MmapTraceObserver::create`]) or in the
+//! directory named by the `CONGEST_TRACE_DIR` environment variable
+//! ([`TRACE_DIR_ENV`], falling back to the system temp dir) via
+//! [`MmapTraceObserver::create_temp`]. Readers validate magics and sizes
+//! and surface corruption as [`std::io::ErrorKind::InvalidData`].
+//!
+//! # File format
+//!
+//! ```text
+//! magic    b"SBTRACE1"
+//! records  num_messages × 52 bytes, little-endian, in send order:
+//!          from u32 · to u32 · tag u16 · num_ids u8 · num_values u8
+//!          ids  MAX_ID_FIELDS × u64    (unused slots zero)
+//!          values MAX_VALUE_FIELDS × u64 (unused slots zero)
+//! index    num_rounds × u64 — cumulative message count at each round end
+//! footer   num_rounds u64 · num_messages u64 · magic b"SBTRIDX1"
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use symbreak_congest::trace_store::MmapTraceObserver;
+//! use symbreak_congest::{KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig,
+//!     SyncSimulator};
+//! use symbreak_graphs::{generators, IdAssignment};
+//!
+//! struct Announce(bool);
+//! impl NodeAlgorithm for Announce {
+//!     fn on_round(&mut self, ctx: &mut RoundContext<'_>, _inbox: &[Message]) {
+//!         if ctx.round() == 0 { ctx.broadcast(&Message::tagged(1).with_id(ctx.own_id())); }
+//!         self.0 = true;
+//!     }
+//!     fn is_done(&self) -> bool { self.0 }
+//! }
+//!
+//! let g = generators::cycle(16);
+//! let ids = IdAssignment::identity(16);
+//! let sim = SyncSimulator::new(&g, &ids, KtLevel::KT1);
+//! let mut obs = MmapTraceObserver::create_temp().unwrap();
+//! sim.run_observed(SyncConfig::default(), |_| Announce(false), &mut obs);
+//! let stored = obs.finish().unwrap();
+//! assert_eq!(stored.num_messages(), 32);
+//! assert_eq!(stored.round(0).unwrap().len(), 32);
+//! stored.remove().unwrap();
+//! ```
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use symbreak_graphs::{EdgeId, NodeId};
+
+use crate::engine::RoundObserver;
+use crate::message::{MAX_ID_FIELDS, MAX_VALUE_FIELDS};
+use crate::trace::{Trace, TraceMessage};
+use crate::Message;
+
+/// Environment variable naming the directory
+/// [`MmapTraceObserver::create_temp`] spills into (falls back to the system
+/// temp dir when unset or empty).
+pub const TRACE_DIR_ENV: &str = "CONGEST_TRACE_DIR";
+
+/// Leading magic of a stored trace.
+const HEADER_MAGIC: &[u8; 8] = b"SBTRACE1";
+/// Trailing magic, written after the round index by `finish`.
+const FOOTER_MAGIC: &[u8; 8] = b"SBTRIDX1";
+/// Bytes of the fixed footer tail: round count, message count, magic.
+const FOOTER_TAIL: u64 = 8 + 8 + 8;
+
+/// Size of one encoded [`TraceMessage`] record.
+pub const RECORD_BYTES: usize = 4 + 4 + 2 + 1 + 1 + 8 * MAX_ID_FIELDS + 8 * MAX_VALUE_FIELDS;
+
+/// The directory trace spill files default to: `CONGEST_TRACE_DIR` if set
+/// and non-empty, else the system temp dir.
+pub fn trace_dir() -> PathBuf {
+    match std::env::var(TRACE_DIR_ENV) {
+        Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+        _ => std::env::temp_dir(),
+    }
+}
+
+fn corrupt(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+/// Encodes one message record into `buf` (little-endian, fixed layout).
+fn encode_record(buf: &mut [u8; RECORD_BYTES], from: NodeId, to: NodeId, message: &Message) {
+    let ids = message.ids();
+    let values = message.values();
+    buf[0..4].copy_from_slice(&from.0.to_le_bytes());
+    buf[4..8].copy_from_slice(&to.0.to_le_bytes());
+    buf[8..10].copy_from_slice(&message.tag().to_le_bytes());
+    buf[10] = ids.len() as u8;
+    buf[11] = values.len() as u8;
+    let mut at = 12;
+    for slot in 0..MAX_ID_FIELDS {
+        let v = ids.get(slot).copied().unwrap_or(0);
+        buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+        at += 8;
+    }
+    for slot in 0..MAX_VALUE_FIELDS {
+        let v = values.get(slot).copied().unwrap_or(0);
+        buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+        at += 8;
+    }
+}
+
+/// Decodes one record back into a [`TraceMessage`].
+fn decode_record(buf: &[u8; RECORD_BYTES]) -> io::Result<TraceMessage> {
+    let word = |at: usize| u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+    let from = NodeId(u32::from_le_bytes(buf[0..4].try_into().unwrap()));
+    let to = NodeId(u32::from_le_bytes(buf[4..8].try_into().unwrap()));
+    let tag = u16::from_le_bytes(buf[8..10].try_into().unwrap());
+    let (num_ids, num_values) = (buf[10] as usize, buf[11] as usize);
+    if num_ids > MAX_ID_FIELDS || num_values > MAX_VALUE_FIELDS {
+        return Err(corrupt(format!(
+            "record declares {num_ids} ids / {num_values} values"
+        )));
+    }
+    let mut message = Message::tagged(tag);
+    for slot in 0..num_ids {
+        message = message.with_id(word(12 + 8 * slot));
+    }
+    for slot in 0..num_values {
+        message = message.with_value(word(12 + 8 * MAX_ID_FIELDS + 8 * slot));
+    }
+    // Unused slots must be zero (the `Message` invariant `Eq` relies on);
+    // reject payload bytes smuggled past the declared counts.
+    for slot in num_ids..MAX_ID_FIELDS {
+        if word(12 + 8 * slot) != 0 {
+            return Err(corrupt("nonzero bytes past the declared id count"));
+        }
+    }
+    for slot in num_values..MAX_VALUE_FIELDS {
+        if word(12 + 8 * MAX_ID_FIELDS + 8 * slot) != 0 {
+            return Err(corrupt("nonzero bytes past the declared value count"));
+        }
+    }
+    Ok(TraceMessage { from, to, message })
+}
+
+/// A [`RoundObserver`] that spills every message to an append-only trace
+/// file instead of buffering it in RAM — see the [module docs](self) for
+/// format and memory profile. Pass it to
+/// [`crate::SyncSimulator::run_observed`], then call
+/// [`MmapTraceObserver::finish`] to seal the file and obtain the
+/// [`StoredTrace`] reader.
+///
+/// I/O errors inside the observer callbacks (which cannot return `Result`)
+/// are sticky: recording stops at the first error and `finish` reports it.
+#[derive(Debug)]
+pub struct MmapTraceObserver {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// Messages written so far.
+    messages: u64,
+    /// Cumulative message count at each completed round's end.
+    round_ends: Vec<u64>,
+    /// First write error, reported by `finish`.
+    error: Option<io::Error>,
+}
+
+impl MmapTraceObserver {
+    /// Creates (or truncates) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the file or writing the header.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        let mut writer = BufWriter::new(File::create(&path)?);
+        writer.write_all(HEADER_MAGIC)?;
+        Ok(MmapTraceObserver {
+            path,
+            writer,
+            messages: 0,
+            round_ends: Vec::new(),
+            error: None,
+        })
+    }
+
+    /// Creates a uniquely-named trace file in [`trace_dir`] (the
+    /// `CONGEST_TRACE_DIR` directory, or the system temp dir).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the file.
+    pub fn create_temp() -> io::Result<Self> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let name = format!(
+            "congest-trace-{}-{}.sbtr",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        Self::create(trace_dir().join(name))
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Messages recorded so far.
+    pub fn num_messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Completed rounds recorded so far.
+    pub fn num_rounds(&self) -> usize {
+        self.round_ends.len()
+    }
+
+    /// Bytes the sealed file will occupy (header + records + index +
+    /// footer).
+    pub fn stored_bytes(&self) -> u64 {
+        8 + self.messages * RECORD_BYTES as u64 + self.round_ends.len() as u64 * 8 + FOOTER_TAIL
+    }
+
+    /// Seals the file — appends the round index and footer, flushes — and
+    /// reopens it as a [`StoredTrace`].
+    ///
+    /// # Errors
+    ///
+    /// The first error hit while recording, or any error writing the
+    /// footer. The (unusable) file is left in place for inspection; remove
+    /// it with [`std::fs::remove_file`].
+    pub fn finish(self) -> io::Result<StoredTrace> {
+        let MmapTraceObserver {
+            path,
+            mut writer,
+            messages,
+            round_ends,
+            error,
+        } = self;
+        if let Some(e) = error {
+            return Err(e);
+        }
+        for &end in &round_ends {
+            writer.write_all(&end.to_le_bytes())?;
+        }
+        writer.write_all(&(round_ends.len() as u64).to_le_bytes())?;
+        writer.write_all(&messages.to_le_bytes())?;
+        writer.write_all(FOOTER_MAGIC)?;
+        writer.flush()?;
+        drop(writer);
+        StoredTrace::open(path)
+    }
+}
+
+impl RoundObserver for MmapTraceObserver {
+    fn on_message(&mut self, from: NodeId, to: NodeId, _edge: EdgeId, message: &Message) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut buf = [0u8; RECORD_BYTES];
+        encode_record(&mut buf, from, to, message);
+        match self.writer.write_all(&buf) {
+            Ok(()) => self.messages += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn on_round_end(&mut self, _round: u64) {
+        self.round_ends.push(self.messages);
+    }
+}
+
+/// A sealed trace file opened for reading — the disk-backed counterpart of
+/// [`Trace`], with O(1)-seek random access to any round.
+#[derive(Debug)]
+pub struct StoredTrace {
+    path: PathBuf,
+    file: File,
+    /// Cumulative message count at each round's end (from the footer).
+    round_ends: Vec<u64>,
+}
+
+impl StoredTrace {
+    /// Opens a file sealed by [`MmapTraceObserver::finish`], validating
+    /// magics and the size accounting.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`std::io::ErrorKind::InvalidData`] when the file is
+    /// not a sealed trace (bad magic, truncated, inconsistent counts).
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        let mut file = File::open(&path)?;
+        let total = file.metadata()?.len();
+        if total < 8 + FOOTER_TAIL {
+            return Err(corrupt("file too small to be a sealed trace"));
+        }
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != HEADER_MAGIC {
+            return Err(corrupt("bad trace header magic"));
+        }
+        file.seek(SeekFrom::End(-(FOOTER_TAIL as i64)))?;
+        let mut tail = [0u8; FOOTER_TAIL as usize];
+        file.read_exact(&mut tail)?;
+        if &tail[16..24] != FOOTER_MAGIC {
+            return Err(corrupt(
+                "bad trace footer magic (unsealed or truncated file?)",
+            ));
+        }
+        let rounds = u64::from_le_bytes(tail[0..8].try_into().unwrap());
+        let messages = u64::from_le_bytes(tail[8..16].try_into().unwrap());
+        // Checked size accounting: the counts are untrusted, and a crafted
+        // footer must not wrap the arithmetic into a passing check (the
+        // reader's contract is InvalidData, never a panic or huge
+        // allocation). A passing check bounds `rounds`/`messages` by the
+        // actual file size, which makes the reservations below safe.
+        let expected = messages
+            .checked_mul(RECORD_BYTES as u64)
+            .and_then(|b| b.checked_add(rounds.checked_mul(8)?))
+            .and_then(|b| b.checked_add(8 + FOOTER_TAIL))
+            .ok_or_else(|| corrupt("trace counts overflow the size accounting"))?;
+        if expected != total {
+            return Err(corrupt(format!(
+                "trace declares {messages} messages / {rounds} rounds \
+                 ({expected} bytes) but the file holds {total}"
+            )));
+        }
+        file.seek(SeekFrom::Start(8 + messages * RECORD_BYTES as u64))?;
+        let mut round_ends = Vec::with_capacity(rounds as usize);
+        let mut buf = [0u8; 8];
+        for _ in 0..rounds {
+            file.read_exact(&mut buf)?;
+            round_ends.push(u64::from_le_bytes(buf));
+        }
+        if round_ends.windows(2).any(|w| w[0] > w[1])
+            || round_ends.last().is_some_and(|&last| last != messages)
+            || (rounds == 0 && messages != 0)
+        {
+            return Err(corrupt("trace round index is not monotone to the total"));
+        }
+        Ok(StoredTrace {
+            path,
+            file,
+            round_ends,
+        })
+    }
+
+    /// The underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of recorded rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.round_ends.len()
+    }
+
+    /// Total number of recorded messages.
+    pub fn num_messages(&self) -> u64 {
+        self.round_ends.last().copied().unwrap_or(0)
+    }
+
+    /// Number of messages recorded in round `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ num_rounds()` (mirrors [`Trace::round`]).
+    pub fn round_len(&self, i: usize) -> u64 {
+        let lo = if i == 0 { 0 } else { self.round_ends[i - 1] };
+        self.round_ends[i] - lo
+    }
+
+    /// Reads the full contents of the data region at `offset` into `buf` —
+    /// positionally on Unix (no shared cursor, the mmap-style access path),
+    /// through a seek elsewhere.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            // `Seek`/`Read` are implemented for `&File`; single-reader use
+            // only (the shared cursor makes this path non-reentrant).
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(buf)
+        }
+    }
+
+    /// Records fetched per positional read in [`StoredTrace::read_round_into`]
+    /// — large enough that even a 10⁵-node all-to-all round costs a handful
+    /// of syscalls, small enough (~53 KiB) to bound the scratch buffer.
+    const BLOCK_RECORDS: usize = 1024;
+
+    /// Reads the messages of round `i` into `out` (overwritten) — random
+    /// access: the fixed-width records make the round one contiguous
+    /// position-indexed range, fetched in `BLOCK_RECORDS`-record
+    /// exact-range block reads (a single read for typical rounds) and
+    /// decoded in memory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and record-level corruption
+    /// ([`std::io::ErrorKind::InvalidData`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ num_rounds()` (mirrors [`Trace::round`]).
+    pub fn read_round_into(&self, i: usize, out: &mut Vec<TraceMessage>) -> io::Result<()> {
+        let lo = if i == 0 { 0 } else { self.round_ends[i - 1] };
+        let hi = self.round_ends[i];
+        out.clear();
+        let count = (hi - lo) as usize;
+        out.reserve(count);
+        let mut block = vec![0u8; RECORD_BYTES * count.min(Self::BLOCK_RECORDS)];
+        let mut done = 0usize;
+        while done < count {
+            let take = (count - done).min(Self::BLOCK_RECORDS);
+            let bytes = &mut block[..take * RECORD_BYTES];
+            self.read_at(8 + (lo + done as u64) * RECORD_BYTES as u64, bytes)?;
+            for record in bytes.chunks_exact(RECORD_BYTES) {
+                out.push(decode_record(record.try_into().unwrap())?);
+            }
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// The messages of round `i` — allocating convenience form of
+    /// [`StoredTrace::read_round_into`].
+    ///
+    /// # Errors
+    ///
+    /// See [`StoredTrace::read_round_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ num_rounds()`.
+    pub fn round(&self, i: usize) -> io::Result<Vec<TraceMessage>> {
+        let mut out = Vec::new();
+        self.read_round_into(i, &mut out)?;
+        Ok(out)
+    }
+
+    /// Full equality against an in-RAM [`Trace`]: same round count, same
+    /// per-round message count, every message equal field for field (the
+    /// fixed-width records round-trip payloads byte for byte, so this is
+    /// byte-level equality of the payloads). Streams one round at a time —
+    /// the stored trace is never materialized whole.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the stored rounds.
+    pub fn same_as(&self, other: &Trace) -> io::Result<bool> {
+        if self.num_rounds() != other.num_rounds() {
+            return Ok(false);
+        }
+        let mut buf = Vec::new();
+        for i in 0..self.num_rounds() {
+            if self.round_len(i) as usize != other.round(i).len() {
+                return Ok(false);
+            }
+            self.read_round_into(i, &mut buf)?;
+            if buf != other.round(i) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Rehydrates the whole stored trace into an in-RAM [`Trace`] (for
+    /// small traces and the differential tests; defeats the point of
+    /// spilling at n = 10⁵).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the stored rounds.
+    pub fn to_trace(&self) -> io::Result<Trace> {
+        let mut trace = Trace::new();
+        let mut buf = Vec::new();
+        for i in 0..self.num_rounds() {
+            self.read_round_into(i, &mut buf)?;
+            trace.push_round(std::mem::take(&mut buf));
+        }
+        Ok(trace)
+    }
+
+    /// Deletes the backing file (spill hygiene for tests and one-shot
+    /// experiment runs).
+    ///
+    /// # Errors
+    ///
+    /// Any error removing the file.
+    pub fn remove(self) -> io::Result<()> {
+        let StoredTrace { path, file, .. } = self;
+        drop(file);
+        fs::remove_file(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(from: u32, to: u32, id: u64) -> TraceMessage {
+        TraceMessage {
+            from: NodeId(from),
+            to: NodeId(to),
+            message: Message::tagged(7).with_id(id).with_value(id * 3),
+        }
+    }
+
+    fn scratch_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sbtr-unit-{}-{tag}.sbtr", std::process::id()))
+    }
+
+    /// Drives the observer callbacks directly (unit level — the
+    /// simulator-driven path is covered by `tests/trace_store_equivalence`).
+    fn record(path: &Path, rounds: &[Vec<TraceMessage>]) -> StoredTrace {
+        let mut obs = MmapTraceObserver::create(path).unwrap();
+        for (r, round) in rounds.iter().enumerate() {
+            for m in round {
+                obs.on_message(m.from, m.to, EdgeId(0), &m.message);
+            }
+            obs.on_round_end(r as u64);
+        }
+        obs.finish().unwrap()
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_every_field() {
+        let rounds = vec![
+            vec![msg(0, 1, 10), msg(1, 0, 20)],
+            Vec::new(),
+            vec![msg(2, 0, 30)],
+        ];
+        let path = scratch_path("roundtrip");
+        let stored = record(&path, &rounds);
+        assert_eq!(stored.num_rounds(), 3);
+        assert_eq!(stored.num_messages(), 3);
+        assert_eq!(stored.round_len(1), 0);
+        // Random access, out of order.
+        assert_eq!(stored.round(2).unwrap(), rounds[2]);
+        assert_eq!(stored.round(0).unwrap(), rounds[0]);
+
+        let mut in_ram = Trace::new();
+        for r in &rounds {
+            in_ram.push_round(r.clone());
+        }
+        assert!(stored.same_as(&in_ram).unwrap());
+        assert_eq!(stored.to_trace().unwrap(), in_ram);
+        stored.remove().unwrap();
+    }
+
+    #[test]
+    fn same_as_detects_any_divergence() {
+        let rounds = vec![vec![msg(0, 1, 10)], vec![msg(1, 0, 20)]];
+        let path = scratch_path("divergence");
+        let stored = record(&path, &rounds);
+
+        let mut fewer_rounds = Trace::new();
+        fewer_rounds.push_round(rounds[0].clone());
+        assert!(!stored.same_as(&fewer_rounds).unwrap());
+
+        let mut other_payload = Trace::new();
+        other_payload.push_round(rounds[0].clone());
+        other_payload.push_round(vec![msg(1, 0, 21)]);
+        assert!(!stored.same_as(&other_payload).unwrap());
+        stored.remove().unwrap();
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let path = scratch_path("empty");
+        let stored = record(&path, &[]);
+        assert_eq!(stored.num_rounds(), 0);
+        assert_eq!(stored.num_messages(), 0);
+        assert!(stored.same_as(&Trace::new()).unwrap());
+        stored.remove().unwrap();
+    }
+
+    #[test]
+    fn open_rejects_unsealed_and_corrupt_files() {
+        let path = scratch_path("corrupt");
+        // Unsealed: header only, no footer.
+        let obs = MmapTraceObserver::create(&path).unwrap();
+        drop(obs);
+        assert_eq!(
+            StoredTrace::open(&path).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Sealed then truncated: size accounting must catch it.
+        let stored = record(&path, &[vec![msg(0, 1, 1), msg(1, 0, 2)]]);
+        let len = fs::metadata(stored.path()).unwrap().len();
+        drop(stored);
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - RECORD_BYTES as u64).unwrap();
+        drop(f);
+        assert!(StoredTrace::open(&path).is_err());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn overflowing_footer_counts_are_rejected() {
+        // A crafted footer whose counts would wrap the size accounting must
+        // surface as InvalidData, not pass the check and panic later.
+        let path = scratch_path("overflow");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(HEADER_MAGIC);
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // rounds
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // messages
+        bytes.extend_from_slice(FOOTER_MAGIC);
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            StoredTrace::open(&path).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stored_bytes_accounts_exactly() {
+        let path = scratch_path("bytes");
+        let mut obs = MmapTraceObserver::create(&path).unwrap();
+        let m = msg(3, 4, 9);
+        obs.on_message(m.from, m.to, EdgeId(0), &m.message);
+        obs.on_round_end(0);
+        let predicted = obs.stored_bytes();
+        let stored = obs.finish().unwrap();
+        assert_eq!(fs::metadata(stored.path()).unwrap().len(), predicted);
+        stored.remove().unwrap();
+    }
+}

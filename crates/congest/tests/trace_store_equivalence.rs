@@ -1,0 +1,231 @@
+//! Differential suite for the spill-to-disk trace store: a
+//! [`StoredTrace`] written by [`MmapTraceObserver`] through the
+//! `RoundObserver` seam must equal the in-RAM [`Trace`] the built-in
+//! instrumentation records for the *same seeded run* — same round count,
+//! same per-round message counts, every payload byte for byte — across
+//! graph families, workloads and ID seeds, under random round access as
+//! well as streaming comparison.
+//!
+//! Spill files are placed via the `CONGEST_TRACE_DIR` knob (the CI
+//! trace-store leg forces it to a scratch directory and asserts the suite
+//! leaves no files behind — every test here removes what it wrote).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symbreak_congest::trace::Trace;
+use symbreak_congest::trace_store::{MmapTraceObserver, StoredTrace, TRACE_DIR_ENV};
+use symbreak_congest::{KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator};
+use symbreak_graphs::{generators, Graph, IdAssignment, IdSpace, NodeId};
+
+/// Token flood from node 0; floods carry the sender's ID so ID fields are
+/// exercised alongside tags.
+struct Flood {
+    have: bool,
+}
+
+impl NodeAlgorithm for Flood {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        let newly =
+            (ctx.round() == 0 && ctx.node() == NodeId(0)) || (!self.have && !inbox.is_empty());
+        if newly {
+            self.have = true;
+            let id = ctx.own_id();
+            ctx.broadcast(&Message::tagged(1).with_id(id));
+        }
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+/// Three rounds of gossip with mixed ID and value payloads.
+struct Gossip {
+    left: u32,
+}
+
+impl NodeAlgorithm for Gossip {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, _inbox: &[Message]) {
+        if self.left > 0 {
+            self.left -= 1;
+            let id = ctx.own_id();
+            let msg = Message::tagged(2)
+                .with_id(id)
+                .with_value(ctx.round())
+                .with_value(u64::from(self.left));
+            ctx.broadcast(&msg);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.left == 0
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Workload {
+    Flood,
+    Gossip,
+}
+
+fn instances(seed: u64) -> Vec<(String, Graph, IdAssignment)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cycle = generators::cycle(240);
+    let clique = generators::clique(24);
+    let pl = generators::power_law(160, 3, &mut rng);
+    let cycle_ids = IdAssignment::random(&cycle, IdSpace::CUBIC, &mut rng);
+    let clique_ids = IdAssignment::random(&clique, IdSpace::CUBIC, &mut rng);
+    let pl_ids = IdAssignment::random(&pl, IdSpace::CUBIC, &mut rng);
+    vec![
+        (format!("cycle@{seed}"), cycle, cycle_ids),
+        (format!("clique@{seed}"), clique, clique_ids),
+        (format!("power_law@{seed}"), pl, pl_ids),
+    ]
+}
+
+fn run_in_ram(graph: &Graph, ids: &IdAssignment, workload: Workload) -> Trace {
+    let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+    let config = SyncConfig {
+        record_trace: true,
+        ..SyncConfig::default()
+    };
+    let report = match workload {
+        Workload::Flood => sim.run(config, |_| Flood { have: false }),
+        Workload::Gossip => sim.run(config, |_| Gossip { left: 3 }),
+    };
+    assert!(report.completed);
+    report.trace.expect("trace requested")
+}
+
+fn run_spilled(graph: &Graph, ids: &IdAssignment, workload: Workload) -> StoredTrace {
+    let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+    let mut obs = MmapTraceObserver::create_temp().expect("create spill file");
+    let report = match workload {
+        Workload::Flood => {
+            sim.run_observed(SyncConfig::default(), |_| Flood { have: false }, &mut obs)
+        }
+        Workload::Gossip => {
+            sim.run_observed(SyncConfig::default(), |_| Gossip { left: 3 }, &mut obs)
+        }
+    };
+    assert!(report.completed);
+    obs.finish().expect("seal spill file")
+}
+
+/// The full differential check for one `(graph, workload)` pair.
+fn check(label: &str, graph: &Graph, ids: &IdAssignment, workload: Workload) {
+    let in_ram = run_in_ram(graph, ids, workload);
+    let stored = run_spilled(graph, ids, workload);
+
+    assert_eq!(stored.num_rounds(), in_ram.num_rounds(), "{label}: rounds");
+    assert_eq!(
+        stored.num_messages(),
+        in_ram.num_messages() as u64,
+        "{label}: messages"
+    );
+    assert!(stored.num_messages() > 0, "{label}: workload was silent");
+
+    // Random access, deliberately out of order: every round, every message,
+    // byte-for-byte payloads (TraceMessage equality covers every field).
+    for i in (0..stored.num_rounds()).rev() {
+        assert_eq!(
+            stored.round_len(i) as usize,
+            in_ram.round(i).len(),
+            "{label}: round {i} length"
+        );
+        assert_eq!(
+            stored.round(i).unwrap(),
+            in_ram.round(i),
+            "{label}: round {i} contents"
+        );
+    }
+
+    // The streaming whole-trace comparison and full rehydration agree.
+    assert!(stored.same_as(&in_ram).unwrap(), "{label}: same_as");
+    assert_eq!(stored.to_trace().unwrap(), in_ram, "{label}: to_trace");
+
+    stored.remove().expect("spill hygiene");
+}
+
+#[test]
+fn flood_traces_are_identical_on_disk_and_in_ram() {
+    for seed in [1u64, 42] {
+        for (label, graph, ids) in instances(seed) {
+            check(&format!("flood/{label}"), &graph, &ids, Workload::Flood);
+        }
+    }
+}
+
+#[test]
+fn gossip_traces_are_identical_on_disk_and_in_ram() {
+    for seed in [7u64, 1234] {
+        for (label, graph, ids) in instances(seed) {
+            check(&format!("gossip/{label}"), &graph, &ids, Workload::Gossip);
+        }
+    }
+}
+
+#[test]
+fn decoded_representations_survive_the_spill() {
+    // Definition 2.2 equality through the store: the decoded representation
+    // of a reloaded trace must equal the in-RAM one's.
+    let (_, graph, ids) = instances(9).remove(2);
+    let in_ram = run_in_ram(&graph, &ids, Workload::Gossip);
+    let stored = run_spilled(&graph, &ids, Workload::Gossip);
+    let rehydrated = stored.to_trace().unwrap();
+    assert!(in_ram.decode(&ids).similar_to(&rehydrated.decode(&ids)));
+    stored.remove().unwrap();
+}
+
+#[test]
+fn spill_files_honor_the_trace_dir_knob() {
+    // `create_temp` must place files in the directory `CONGEST_TRACE_DIR`
+    // names (the CI leg forces it and audits the directory afterwards).
+    let dir = symbreak_congest::trace_store::trace_dir();
+    let obs = MmapTraceObserver::create_temp().unwrap();
+    assert_eq!(obs.path().parent(), Some(dir.as_path()));
+    let path = obs.path().to_path_buf();
+    assert!(path.exists());
+    // Unsealed files are not loadable — and get cleaned up like sealed ones.
+    drop(obs);
+    assert!(StoredTrace::open(&path).is_err());
+    std::fs::remove_file(&path).unwrap();
+    // The knob itself: when the variable is set (CI), it wins over the
+    // system temp dir.
+    if let Ok(forced) = std::env::var(TRACE_DIR_ENV) {
+        if !forced.trim().is_empty() {
+            assert_eq!(dir, std::path::PathBuf::from(forced));
+        }
+    }
+}
+
+#[test]
+fn empty_runs_store_empty_traces() {
+    struct Silent;
+    impl NodeAlgorithm for Silent {
+        fn on_round(&mut self, _ctx: &mut RoundContext<'_>, _inbox: &[Message]) {}
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+    let g = generators::path(3);
+    let ids = IdAssignment::identity(3);
+    let sim = SyncSimulator::new(&g, &ids, KtLevel::KT1);
+    let mut obs = MmapTraceObserver::create_temp().unwrap();
+    let report = sim.run_observed(SyncConfig::default(), |_| Silent, &mut obs);
+    assert!(report.completed);
+    let stored = obs.finish().unwrap();
+    // One executed round, zero messages — exactly what the in-RAM trace of
+    // the same run records.
+    let in_ram = SyncSimulator::new(&g, &ids, KtLevel::KT1)
+        .run(
+            SyncConfig {
+                record_trace: true,
+                ..SyncConfig::default()
+            },
+            |_| Silent,
+        )
+        .trace
+        .unwrap();
+    assert!(stored.same_as(&in_ram).unwrap());
+    assert_eq!(stored.num_messages(), 0);
+    stored.remove().unwrap();
+}

@@ -19,14 +19,14 @@
 use std::sync::Arc;
 
 use rand::Rng;
-use symbreak_congest::{async_sim, CostAccount, PhaseCost, SyncConfig};
+use symbreak_congest::{async_sim, CostAccount, KtLevel, PhaseCost, SyncConfig, SyncSimulator};
 use symbreak_danner::{ops, setup};
 use symbreak_graphs::{properties, Graph, IdAssignment, NodeId};
 
 use crate::error::CoreError;
 use crate::partition::{ChangPartition, Part};
-use crate::query_coloring::{run_stage, QueryPlan, StageSpec};
-use crate::stage_flat::{run_stage_flat, FlatStageSpec, StagePipeline};
+use crate::query_coloring::{run_stage_on, QueryPlan, StageSpec};
+use crate::stage_flat::{run_stage_flat_on, FlatStageSpec, StagePipeline};
 
 /// Configuration of Algorithm 1.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +47,13 @@ pub struct Alg1Config {
     /// Worker threads for the simulated stages (`0` = automatic, i.e. the
     /// `CONGEST_THREADS` environment variable or the CPU count).
     pub threads: usize,
+    /// Graph shards for the simulated stages (`0` = automatic, i.e. the
+    /// `CONGEST_SHARDS` environment variable or disabled). When sharding
+    /// engages, the [`symbreak_graphs::sharded::ShardedGraph`] is built
+    /// **once per run** and shared by every per-level stage through the one
+    /// stage simulator (regression-tested in `tests/sharded_cache.rs`);
+    /// results are bit-identical at any shard count.
+    pub shards: usize,
 }
 
 impl Default for Alg1Config {
@@ -58,6 +65,7 @@ impl Default for Alg1Config {
             stage_seed: 0x1_5eed,
             pipeline: StagePipeline::Flat,
             threads: 0,
+            shards: 0,
         }
     }
 }
@@ -130,7 +138,18 @@ pub fn run<R: Rng + ?Sized>(
     let mut levels_used = 0;
     let phase_limit_buckets = (4.0 * log_n).ceil() as usize + 4;
     let edge_threshold = (config.edge_threshold_factor * n as f64 * log_n).ceil() as u64;
-    let stage_config = SyncConfig::default().with_threads(config.threads);
+    let stage_config = SyncConfig::default()
+        .with_threads(config.threads)
+        .with_shards(config.shards);
+    // One simulator for every coloring stage of the run. When sharded
+    // stepping engages, the sharded view (shard slices + ghost tables) is
+    // built here exactly once and reused by each per-level stage and the
+    // final stage — stages used to rebuild it per `run` call.
+    let prebuilt_sharded = stage_config.prebuild_sharded(graph);
+    let mut stage_sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+    if let Some(sharded) = prebuilt_sharded.as_ref() {
+        stage_sim = stage_sim.with_sharded_graph(sharded);
+    }
 
     for level in 0..config.max_levels {
         // Step 4 (and its level-0 analogue): measure the uncoloured subgraph
@@ -176,7 +195,7 @@ pub fn run<R: Rng + ?Sized>(
                     Arc::clone(&plan),
                     phase_limit_buckets,
                 );
-                run_stage_flat(graph, ids, &spec, seed, stage_config)
+                run_stage_flat_on(&stage_sim, &spec, seed, stage_config)
             }
             StagePipeline::Nested => {
                 let spec = nested_level_spec(
@@ -188,7 +207,7 @@ pub fn run<R: Rng + ?Sized>(
                     Arc::clone(&plan),
                     phase_limit_buckets,
                 );
-                run_stage(graph, ids, &spec, seed, stage_config)
+                run_stage_on(&stage_sim, &spec, seed, stage_config)
             }
         };
         costs.charge_report(format!("bucket coloring, level {level}"), &report);
@@ -212,12 +231,12 @@ pub fn run<R: Rng + ?Sized>(
                     Arc::clone(&plan),
                     phase_limit,
                 );
-                run_stage_flat(graph, ids, &spec, seed, stage_config)
+                run_stage_flat_on(&stage_sim, &spec, seed, stage_config)
             }
             StagePipeline::Nested => {
                 let spec =
                     nested_final_spec(graph, &colors, palette_size, Arc::clone(&plan), phase_limit);
-                run_stage(graph, ids, &spec, seed, stage_config)
+                run_stage_on(&stage_sim, &spec, seed, stage_config)
             }
         };
         costs.charge_report("final-stage coloring", &report);

@@ -301,6 +301,9 @@ impl NodeAlgorithm for StageNode {
 /// Runs one conflict-aware coloring stage and returns the updated colour of
 /// every node (existing colours are preserved; newly coloured participants
 /// get their stage colour; participants that gave up stay `None`).
+///
+/// Builds a fresh [`SyncSimulator`] per call; multi-stage callers should
+/// build one simulator and drive every stage through [`run_stage_on`].
 pub fn run_stage(
     graph: &Graph,
     ids: &IdAssignment,
@@ -308,12 +311,34 @@ pub fn run_stage(
     seed: u64,
     config: SyncConfig,
 ) -> (Vec<Option<u64>>, ExecutionReport) {
-    let n = graph.num_nodes();
+    let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+    run_stage_on(&sim, spec, seed, config)
+}
+
+/// [`run_stage`] on a caller-built KT-1 [`SyncSimulator`], so multi-stage
+/// runs reuse whatever the simulator carries across `run` calls (notably a
+/// prebuilt [`symbreak_graphs::sharded::ShardedGraph`] attached via
+/// [`SyncSimulator::with_sharded_graph`]) instead of rebuilding it per
+/// stage — the nested counterpart of
+/// [`crate::stage_flat::run_stage_flat_on`].
+///
+/// # Panics
+///
+/// Panics if the simulator is not KT-1, if the spec does not cover the
+/// simulator's graph, or if the stage fails to quiesce within the round
+/// limit.
+pub fn run_stage_on(
+    sim: &SyncSimulator<'_>,
+    spec: &StageSpec,
+    seed: u64,
+    config: SyncConfig,
+) -> (Vec<Option<u64>>, ExecutionReport) {
+    assert_eq!(sim.level(), KtLevel::KT1, "coloring stages run in KT-1");
+    let n = sim.graph().num_nodes();
     assert_eq!(spec.participating.len(), n);
     assert_eq!(spec.palettes.len(), n);
     assert_eq!(spec.active.len(), n);
     assert_eq!(spec.existing_colors.len(), n);
-    let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
     let mut report = sim.run(config, |init| {
         let i = init.node.index();
         StageNode {

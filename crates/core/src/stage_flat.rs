@@ -191,17 +191,19 @@ impl<'a> FlatStageSpec<'a> {
     }
 }
 
-/// Per-node state of the flat stage runtime. The spec is borrowed — the only
-/// per-node allocations are the small `taken` bitset and the reusable
-/// query-target scratch buffer.
+/// Per-node state of the flat stage runtime. The spec is borrowed and the
+/// `taken` bitset is a disjoint window of one runtime-owned flat array — the
+/// only per-node allocation left is the reusable query-target scratch
+/// buffer.
 struct FlatStageNode<'s> {
     spec: &'s FlatStageSpec<'s>,
     me: NodeId,
     own_id: u64,
     color: Option<u64>,
     /// Colours known to be taken (same width as the palette rows); the free
-    /// candidates are `palette & !taken`.
-    taken: Vec<u64>,
+    /// candidates are `palette & !taken`. A `words`-wide window of the
+    /// stage's flat `n × words` bitset, exclusively owned by this node.
+    taken: &'s mut [u64],
     candidate: Option<u64>,
     conflict: bool,
     phase_limit: usize,
@@ -225,14 +227,14 @@ impl FlatStageNode<'_> {
 
     fn choose_candidate(&mut self) -> Option<u64> {
         let row = self.spec.palettes.row(self.me.index());
-        let free = palette::masked_count(row, &self.taken) as usize;
+        let free = palette::masked_count(row, self.taken) as usize;
         if free == 0 {
             None
         } else {
             // Same draw as the nested runtime: `gen_range` over the free
             // count, then the r-th free colour ascending.
             let r = self.rng.gen_range(0..free);
-            Some(palette::masked_nth(row, &self.taken, r as u32))
+            Some(palette::masked_nth(row, self.taken, r as u32))
         }
     }
 
@@ -364,6 +366,10 @@ impl NodeAlgorithm for FlatStageNode<'_> {
 /// spec; the returned colours are **moved** out of the report (whose
 /// `outputs` field is left empty) instead of cloned.
 ///
+/// Builds a fresh [`SyncSimulator`] per call; multi-stage callers should
+/// build one simulator (optionally with a prebuilt sharded graph attached)
+/// and drive every stage through [`run_stage_flat_on`] instead.
+///
 /// # Panics
 ///
 /// Panics if the stage fails to quiesce within the round limit.
@@ -374,21 +380,56 @@ pub fn run_stage_flat(
     seed: u64,
     config: SyncConfig,
 ) -> (Vec<Option<u64>>, ExecutionReport) {
-    let n = graph.num_nodes();
+    let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+    run_stage_flat_on(&sim, spec, seed, config)
+}
+
+/// [`run_stage_flat`] on a caller-built KT-1 [`SyncSimulator`] — the
+/// multi-stage entry point: whatever the simulator carries across `run`
+/// calls (notably a prebuilt [`symbreak_graphs::sharded::ShardedGraph`]
+/// attached via [`SyncSimulator::with_sharded_graph`]) is paid for once and
+/// reused by every stage, instead of being rebuilt per stage.
+///
+/// The per-node `taken` bitsets live in **one flat `n × words` array** owned
+/// by this runtime; each automaton receives its row as a disjoint `&mut`
+/// window (the rows are handed out in node order while the flat array is
+/// zeroed, so the split is allocation- and branch-free). Stage setup
+/// therefore makes no per-node allocations at all, and behaviour is
+/// bit-identical to the former per-node `Vec<u64>` bitsets.
+///
+/// # Panics
+///
+/// Panics if the simulator is not KT-1, if the spec does not cover the
+/// simulator's graph, or if the stage fails to quiesce within the round
+/// limit.
+pub fn run_stage_flat_on(
+    sim: &SyncSimulator<'_>,
+    spec: &FlatStageSpec<'_>,
+    seed: u64,
+    config: SyncConfig,
+) -> (Vec<Option<u64>>, ExecutionReport) {
+    assert_eq!(sim.level(), KtLevel::KT1, "coloring stages run in KT-1");
+    let n = sim.graph().num_nodes();
     assert_eq!(spec.participating.len(), n);
     assert_eq!(spec.existing_colors.len(), n);
     assert_eq!(spec.active.num_nodes(), n);
     let words = spec.palettes.words_per_node();
     let phase_limit = spec.phase_limit.max(1);
-    let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+    let mut taken_flat = vec![0u64; n * words];
+    let mut taken_rows = taken_flat.chunks_mut(words.max(1));
     let mut report = sim.run(config, |init| {
         let i = init.node.index();
+        let taken: &mut [u64] = if words == 0 {
+            Default::default()
+        } else {
+            taken_rows.next().expect("one taken row per node")
+        };
         FlatStageNode {
             spec,
             me: init.node,
             own_id: init.knowledge.own_id(),
             color: spec.existing_colors[i],
-            taken: vec![0; words],
+            taken,
             candidate: None,
             conflict: false,
             phase_limit,

@@ -21,6 +21,10 @@
 //!   CSR slice with a ghost table for cross-shard neighbour references —
 //!   the substrate of the round engine's sharded stepping path and the
 //!   seam for out-of-core / NUMA-local simulation.
+//! * [`storage`] — spill-to-disk persistence for sharded graphs: each
+//!   shard's flat buffers serialize verbatim to one append-only file
+//!   (mmap-able layout), loadable shard by shard so graphs larger than RAM
+//!   stay steppable.
 //! * [`subgraph`] — induced and edge-filtered subgraphs with index mappings
 //!   back to the parent graph.
 //! * [`ids`] — ID assignments drawn from a polynomial-size ID space, as
@@ -49,6 +53,7 @@ pub mod generators;
 pub mod ids;
 pub mod properties;
 pub mod sharded;
+pub mod storage;
 pub mod subgraph;
 
 pub use arena::AdjacencyArena;

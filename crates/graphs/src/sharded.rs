@@ -41,15 +41,20 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::{Graph, NodeId};
+
+/// Process-wide count of [`ShardedGraph`] constructions (see
+/// [`ShardedGraph::constructions`]).
+static CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Tag bit marking a shard-local CSR target as a ghost-table index.
 ///
 /// Local node indices and ghost indices therefore both fit in 31 bits, which
 /// bounds sharded graphs to `2³¹ − 1` nodes — the same ceiling the CSR
 /// `u32` offsets already impose on half-edges.
-const GHOST_BIT: u32 = 1 << 31;
+pub(crate) const GHOST_BIT: u32 = 1 << 31;
 
 /// Cuts `0..len` into at most `max_shards` contiguous ranges with near-equal
 /// weight sums, where `weight(i)` is the cost of item `i`.
@@ -165,6 +170,14 @@ impl ShardPlan {
     #[inline]
     pub fn starts(&self) -> &[u32] {
         &self.starts
+    }
+
+    /// Rebuilds a plan from stored boundaries (the [`crate::storage`]
+    /// manifest format). Validated by the caller.
+    pub(crate) fn from_starts(starts: Vec<u32>) -> Self {
+        debug_assert!(starts.len() >= 2 && starts[0] == 0);
+        debug_assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        ShardPlan { starts }
     }
 }
 
@@ -289,6 +302,12 @@ impl GraphShard {
         self.ghosts.len()
     }
 
+    /// Number of half-edges (CSR row entries) owned by this shard.
+    #[inline]
+    pub fn num_half_edges(&self) -> usize {
+        self.targets.len()
+    }
+
     /// Resolves a [`ShardedTarget`] of this shard back to a global
     /// [`NodeId`].
     #[inline]
@@ -339,6 +358,41 @@ impl GraphShard {
         let i = local as usize;
         &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
+
+    /// The shard's flat buffers, exactly as the [`crate::storage`] format
+    /// serializes them: `(start, offsets, encoded targets, ghosts,
+    /// ghost_globals)`. Bit 31 of a target tags a ghost-table index.
+    pub(crate) fn raw_parts(&self) -> (u32, &[u32], &[NodeId], &[GhostRef], &[NodeId]) {
+        (
+            self.start,
+            &self.offsets,
+            &self.targets,
+            &self.ghosts,
+            &self.ghost_globals,
+        )
+    }
+
+    /// Reassembles a shard from stored flat buffers ([`crate::storage`]'s
+    /// loader). The `identity` flag is recomputed, never stored. Structural
+    /// validation (offset monotonicity, target/ghost bounds) is the loader's
+    /// job — this constructor only restores the invariant-preserving layout.
+    pub(crate) fn from_raw_parts(
+        start: u32,
+        offsets: Vec<u32>,
+        targets: Vec<NodeId>,
+        ghosts: Vec<GhostRef>,
+        ghost_globals: Vec<NodeId>,
+    ) -> Self {
+        let identity = start == 0 && ghosts.is_empty();
+        GraphShard {
+            start,
+            offsets,
+            targets,
+            identity,
+            ghosts,
+            ghost_globals,
+        }
+    }
 }
 
 /// A [`Graph`] partitioned into per-shard CSR slices with ghost-node
@@ -372,6 +426,7 @@ impl ShardedGraph {
     /// Panics if the plan does not cover exactly `graph`'s nodes or if the
     /// graph has `2³¹` or more nodes.
     pub fn with_plan(graph: &Graph, plan: ShardPlan) -> Self {
+        CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
         let n = graph.num_nodes();
         assert!(
             (n as u64) < GHOST_BIT as u64,
@@ -471,6 +526,34 @@ impl ShardedGraph {
     /// cross-shard neighbour references; a measure of frontier size).
     pub fn total_ghosts(&self) -> usize {
         self.shards.iter().map(GraphShard::num_ghosts).sum()
+    }
+
+    /// Total number of half-edges across all shards — equals the parent
+    /// graph's degree sum, which makes it a cheap adjacency-identity check
+    /// for prebuilt attachments.
+    pub fn num_half_edges(&self) -> usize {
+        self.shards.iter().map(GraphShard::num_half_edges).sum()
+    }
+
+    /// Process-wide number of [`ShardedGraph`]s constructed *from a graph*
+    /// so far ([`ShardedGraph::build`] / [`ShardedGraph::with_plan`]; loads
+    /// through [`crate::storage`] do not count). A monotone counter for
+    /// regression tests guarding against redundant rebuilds — e.g. a
+    /// multi-stage algorithm run over one graph must shard it exactly once.
+    pub fn constructions() -> u64 {
+        CONSTRUCTIONS.load(Ordering::Relaxed)
+    }
+
+    /// Reassembles a sharded graph from a stored plan and shards
+    /// ([`crate::storage`]'s loader); consistency between the plan and the
+    /// shard files is the loader's job.
+    pub(crate) fn from_parts(plan: ShardPlan, shards: Vec<GraphShard>) -> Self {
+        let num_nodes = *plan.starts.last().unwrap() as usize;
+        ShardedGraph {
+            plan,
+            shards,
+            num_nodes,
+        }
     }
 }
 

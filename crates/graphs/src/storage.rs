@@ -1,0 +1,437 @@
+//! Spill-to-disk storage for sharded graphs.
+//!
+//! A [`crate::sharded::GraphShard`] is already a set of flat, self-contained
+//! buffers — local CSR `offsets`/`targets` plus the ghost table — so this
+//! module serializes each shard to **one append-only file** of little-endian
+//! words in exactly the in-memory layout, and a [`ShardedGraph`] to a
+//! directory of shard files plus a tiny manifest holding the
+//! [`ShardPlan`] boundaries. Because every array is written verbatim, a
+//! stored shard is *mmap-able*: the file regions are position-indexed flat
+//! slices that a memory map could hand back zero-copy. The safe loader here
+//! reads each region straight into its owning array (one pass, no
+//! intermediate decode buffer), which is what the round engine needs to
+//! step a graph **shard by shard**: only the shard currently being stepped
+//! has to be resident, so graphs larger than RAM remain simulatable.
+//!
+//! # File formats
+//!
+//! Shard file (`shard-<k>.sbsh`):
+//!
+//! ```text
+//! magic  b"SBSHARD1"
+//! start u32 · len u32 · num_targets u32 · num_ghosts u32
+//! offsets      (len + 1) × u32          — local CSR offsets
+//! targets      num_targets × u32        — bit 31 tags a ghost index
+//! ghosts       num_ghosts × (u32, u32)  — (owning shard, local index)
+//! ghost_globals num_ghosts × u32        — pre-resolved global NodeIds
+//! magic  b"SBSHEND1"                    — truncation guard
+//! ```
+//!
+//! Manifest (`manifest.sbsg`): magic `b"SBSGDIR1"`, shard count `u32`, then
+//! the `num_shards + 1` plan boundaries as `u32`s.
+//!
+//! Every reader validates magics, counts and structural invariants
+//! (monotone offsets, in-range local/ghost references) and reports
+//! violations as [`std::io::ErrorKind::InvalidData`] — a corrupt or
+//! truncated file never panics.
+//!
+//! # Example
+//!
+//! ```
+//! use symbreak_graphs::{generators, sharded::ShardedGraph, storage};
+//!
+//! let dir = std::env::temp_dir().join(format!("sbsg-doc-{}", std::process::id()));
+//! let g = generators::cycle(32);
+//! let sg = ShardedGraph::build(&g, 3);
+//! storage::save_sharded(&sg, &dir).unwrap();
+//!
+//! let store = storage::ShardStore::open(&dir).unwrap();
+//! // Shards load individually — only one needs to be resident at a time …
+//! let shard1 = store.load_shard(1).unwrap();
+//! assert_eq!(shard1, *sg.shard(1));
+//! // … or all together, reassembling the full sharded graph.
+//! assert_eq!(store.load().unwrap(), sg);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::sharded::{GhostRef, GraphShard, ShardPlan, ShardedGraph, GHOST_BIT};
+use crate::NodeId;
+
+/// Leading magic of a shard file.
+const SHARD_MAGIC: &[u8; 8] = b"SBSHARD1";
+/// Trailing magic of a shard file (guards against truncation).
+const SHARD_END: &[u8; 8] = b"SBSHEND1";
+/// Leading magic of a sharded-graph manifest.
+const MANIFEST_MAGIC: &[u8; 8] = b"SBSGDIR1";
+
+/// File name of the manifest inside a sharded-graph directory.
+pub const MANIFEST_FILE: &str = "manifest.sbsg";
+
+/// File name of shard `s` inside a sharded-graph directory.
+pub fn shard_file_name(s: usize) -> String {
+    format!("shard-{s:05}.sbsh")
+}
+
+fn corrupt(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn expect_magic(r: &mut impl Read, magic: &[u8; 8], what: &str) -> io::Result<()> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    if &buf != magic {
+        return Err(corrupt(format!("bad {what} magic")));
+    }
+    Ok(())
+}
+
+/// Reads `count` little-endian `u32`s into a fresh array through `map` —
+/// the loader's one-pass path from file region to owning flat buffer.
+///
+/// `count` comes from untrusted file headers, so the upfront reservation is
+/// capped: a tiny corrupt file declaring billions of entries fails with
+/// `UnexpectedEof` on the first short read instead of attempting a
+/// multi-GiB allocation; genuinely large arrays grow amortized as their
+/// data actually arrives.
+fn read_u32s<T>(r: &mut impl Read, count: usize, map: impl Fn(u32) -> T) -> io::Result<Vec<T>> {
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    let mut buf = [0u8; 4 * 1024];
+    let mut left = count;
+    while left > 0 {
+        let take = (left * 4).min(buf.len());
+        r.read_exact(&mut buf[..take])?;
+        out.extend(
+            buf[..take]
+                .chunks_exact(4)
+                .map(|c| map(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))),
+        );
+        left -= take / 4;
+    }
+    Ok(out)
+}
+
+/// Serializes one shard to `w` in the flat format described in the
+/// [module docs](self).
+pub fn write_shard(shard: &GraphShard, w: &mut impl Write) -> io::Result<()> {
+    let (start, offsets, targets, ghosts, ghost_globals) = shard.raw_parts();
+    w.write_all(SHARD_MAGIC)?;
+    write_u32(w, start)?;
+    write_u32(w, (offsets.len() - 1) as u32)?;
+    write_u32(w, targets.len() as u32)?;
+    write_u32(w, ghosts.len() as u32)?;
+    for &o in offsets {
+        write_u32(w, o)?;
+    }
+    for &t in targets {
+        write_u32(w, t.0)?;
+    }
+    for g in ghosts {
+        write_u32(w, g.shard)?;
+        write_u32(w, g.local)?;
+    }
+    for &g in ghost_globals {
+        write_u32(w, g.0)?;
+    }
+    w.write_all(SHARD_END)
+}
+
+/// Serializes one shard to its own file (created or truncated).
+pub fn write_shard_file(shard: &GraphShard, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_shard(shard, &mut w)?;
+    w.flush()
+}
+
+/// Deserializes one shard from `r`, validating the format and every
+/// structural invariant (monotone offsets ending at the target count,
+/// local references inside the shard, ghost references inside the ghost
+/// table).
+///
+/// # Errors
+///
+/// [`std::io::ErrorKind::InvalidData`] on corruption,
+/// [`std::io::ErrorKind::UnexpectedEof`] on truncation mid-array.
+pub fn read_shard(r: &mut impl Read) -> io::Result<GraphShard> {
+    expect_magic(r, SHARD_MAGIC, "shard")?;
+    let start = read_u32(r)?;
+    let len = read_u32(r)? as usize;
+    let num_targets = read_u32(r)? as usize;
+    let num_ghosts = read_u32(r)? as usize;
+    let offsets: Vec<u32> = read_u32s(r, len + 1, |v| v)?;
+    if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt("shard offsets are not monotone from 0"));
+    }
+    if *offsets.last().unwrap() as usize != num_targets {
+        return Err(corrupt("shard offsets do not end at the target count"));
+    }
+    let targets: Vec<NodeId> = read_u32s(r, num_targets, NodeId)?;
+    for &t in &targets {
+        let (ghost, idx) = (t.0 & GHOST_BIT != 0, (t.0 & !GHOST_BIT) as usize);
+        if ghost && idx >= num_ghosts {
+            return Err(corrupt(format!("ghost target {idx} out of range")));
+        }
+        if !ghost && idx >= len {
+            return Err(corrupt(format!("local target {idx} outside the shard")));
+        }
+    }
+    let ghost_words: Vec<u32> = read_u32s(r, num_ghosts * 2, |v| v)?;
+    let ghosts: Vec<GhostRef> = ghost_words
+        .chunks_exact(2)
+        .map(|c| GhostRef {
+            shard: c[0],
+            local: c[1],
+        })
+        .collect();
+    let ghost_globals: Vec<NodeId> = read_u32s(r, num_ghosts, NodeId)?;
+    expect_magic(r, SHARD_END, "shard trailer")?;
+    Ok(GraphShard::from_raw_parts(
+        start,
+        offsets,
+        targets,
+        ghosts,
+        ghost_globals,
+    ))
+}
+
+/// Deserializes one shard from its file.
+pub fn read_shard_file(path: &Path) -> io::Result<GraphShard> {
+    read_shard(&mut BufReader::new(File::open(path)?))
+}
+
+/// Writes `sharded` to `dir` (created if absent): the [`MANIFEST_FILE`]
+/// plus one [`shard_file_name`] file per shard, each independently
+/// loadable.
+pub fn save_sharded(sharded: &ShardedGraph, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut w = BufWriter::new(File::create(dir.join(MANIFEST_FILE))?);
+    w.write_all(MANIFEST_MAGIC)?;
+    let starts = sharded.plan().starts();
+    write_u32(&mut w, (starts.len() - 1) as u32)?;
+    for &s in starts {
+        write_u32(&mut w, s)?;
+    }
+    w.flush()?;
+    for s in 0..sharded.num_shards() {
+        write_shard_file(sharded.shard(s), &dir.join(shard_file_name(s)))?;
+    }
+    Ok(())
+}
+
+/// A sharded graph spilled to a directory, loadable shard by shard.
+///
+/// Opening a store reads only the manifest (the [`ShardPlan`] boundaries);
+/// shard files are touched on demand through [`ShardStore::load_shard`], so
+/// a consumer stepping shards in sequence holds at most one shard's arrays
+/// in memory at a time.
+#[derive(Debug)]
+pub struct ShardStore {
+    dir: PathBuf,
+    plan: ShardPlan,
+}
+
+impl ShardStore {
+    /// Opens a directory written by [`save_sharded`], reading and
+    /// validating its manifest.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the manifest;
+    /// [`std::io::ErrorKind::InvalidData`] on a corrupt manifest.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(dir.join(MANIFEST_FILE))?);
+        expect_magic(&mut r, MANIFEST_MAGIC, "manifest")?;
+        let num_shards = read_u32(&mut r)? as usize;
+        if num_shards == 0 {
+            return Err(corrupt("manifest declares zero shards"));
+        }
+        let starts: Vec<u32> = read_u32s(&mut r, num_shards + 1, |v| v)?;
+        if starts[0] != 0 || starts.windows(2).any(|w| w[0] > w[1]) {
+            return Err(corrupt("manifest boundaries are not monotone from 0"));
+        }
+        Ok(ShardStore {
+            dir: dir.to_path_buf(),
+            plan: ShardPlan::from_starts(starts),
+        })
+    }
+
+    /// The stored shard plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of stored shards.
+    pub fn num_shards(&self) -> usize {
+        self.plan.num_shards()
+    }
+
+    /// Number of nodes of the stored graph.
+    pub fn num_nodes(&self) -> usize {
+        *self.plan.starts().last().unwrap() as usize
+    }
+
+    /// Path of shard `s`'s file.
+    pub fn shard_path(&self, s: usize) -> PathBuf {
+        self.dir.join(shard_file_name(s))
+    }
+
+    /// Loads shard `s` alone — the shard-by-shard stepping path for graphs
+    /// whose full adjacency exceeds RAM.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, plus [`std::io::ErrorKind::InvalidData`] when the shard
+    /// file is corrupt or does not match the manifest's node range.
+    pub fn load_shard(&self, s: usize) -> io::Result<GraphShard> {
+        let shard = read_shard_file(&self.shard_path(s))?;
+        let (lo, hi) = self.plan.range(s);
+        if shard.start().0 != lo || shard.len() != (hi - lo) as usize {
+            return Err(corrupt(format!(
+                "shard {s} covers [{}, {}) but the manifest says [{lo}, {hi})",
+                shard.start().0,
+                shard.start().0 + shard.len() as u32,
+            )));
+        }
+        Ok(shard)
+    }
+
+    /// Loads every shard and reassembles the [`ShardedGraph`], additionally
+    /// validating every ghost reference against the plan (owning shard in
+    /// range, local index inside it, pre-resolved global ID consistent).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardStore::load_shard`], plus
+    /// [`std::io::ErrorKind::InvalidData`] for cross-shard inconsistencies.
+    pub fn load(&self) -> io::Result<ShardedGraph> {
+        let mut shards = Vec::with_capacity(self.num_shards());
+        for s in 0..self.num_shards() {
+            let shard = self.load_shard(s)?;
+            for g in 0..shard.num_ghosts() as u32 {
+                let ghost = shard.ghost(g);
+                if ghost.shard as usize >= self.num_shards() || ghost.shard as usize == s {
+                    return Err(corrupt(format!(
+                        "shard {s}: ghost {g} points at shard {}",
+                        ghost.shard
+                    )));
+                }
+                let (lo, hi) = self.plan.range(ghost.shard as usize);
+                let global = lo + ghost.local;
+                if global >= hi || shard.ghost_global(g).0 != global {
+                    return Err(corrupt(format!("shard {s}: ghost {g} is inconsistent")));
+                }
+            }
+            shards.push(shard);
+        }
+        Ok(ShardedGraph::from_parts(self.plan.clone(), shards))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "sbsg-test-{}-{tag}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn shard_roundtrips_through_bytes() {
+        let g = generators::clique(9);
+        let sg = ShardedGraph::build(&g, 3);
+        for s in 0..sg.num_shards() {
+            let mut bytes = Vec::new();
+            write_shard(sg.shard(s), &mut bytes).unwrap();
+            let back = read_shard(&mut bytes.as_slice()).unwrap();
+            assert_eq!(back, *sg.shard(s));
+        }
+    }
+
+    #[test]
+    fn corrupt_and_truncated_shards_are_rejected() {
+        let g = generators::cycle(8);
+        let sg = ShardedGraph::build(&g, 2);
+        let mut bytes = Vec::new();
+        write_shard(sg.shard(1), &mut bytes).unwrap();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            read_shard(&mut bad_magic.as_slice()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        let truncated = &bytes[..bytes.len() - 12];
+        assert!(read_shard(&mut &truncated[..]).is_err());
+
+        // A ghost index past the table must be caught, not panic later.
+        let mut bad_target = bytes.clone();
+        let target0 = 8 + 16 + 4 * (sg.shard(1).len() + 1);
+        bad_target[target0..target0 + 4].copy_from_slice(&(GHOST_BIT | 999).to_le_bytes());
+        assert_eq!(
+            read_shard(&mut bad_target.as_slice()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn huge_declared_counts_fail_cleanly() {
+        // A tiny file declaring ~4 billion targets must error on the short
+        // read, not attempt a multi-GiB reservation first.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SHARD_MAGIC);
+        for v in [0u32, 1, u32::MAX ^ GHOST_BIT, 0] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes.extend_from_slice(&[0u8; 8]); // offsets, then EOF
+        assert!(read_shard(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn store_open_rejects_missing_and_corrupt_manifests() {
+        let dir = scratch_dir("manifest");
+        assert!(ShardStore::open(&dir).is_err());
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MANIFEST_FILE), b"not a manifest").unwrap();
+        assert!(ShardStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_shard_file_is_rejected() {
+        let g = generators::cycle(12);
+        let sg = ShardedGraph::build(&g, 3);
+        let dir = scratch_dir("mismatch");
+        save_sharded(&sg, &dir).unwrap();
+        // Swap two shard files: each parses alone, but violates the plan.
+        fs::rename(dir.join(shard_file_name(0)), dir.join("tmp")).unwrap();
+        fs::rename(dir.join(shard_file_name(1)), dir.join(shard_file_name(0))).unwrap();
+        fs::rename(dir.join("tmp"), dir.join(shard_file_name(1))).unwrap();
+        let store = ShardStore::open(&dir).unwrap();
+        assert_eq!(
+            store.load_shard(0).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

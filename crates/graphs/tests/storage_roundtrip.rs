@@ -1,0 +1,82 @@
+//! Save/load round-trips for [`symbreak_graphs::storage`], the sibling of
+//! `sharded_roundtrip.rs`: a [`ShardedGraph`] written to disk must reload —
+//! whole, or one shard at a time — into buffers equal to the originals, and
+//! every reloaded row must still resolve to the parent graph's neighbour
+//! list.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symbreak_graphs::sharded::ShardedGraph;
+use symbreak_graphs::{generators, storage, Graph, NodeId};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "sbsg-it-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Saves, reopens and reloads one `(graph, shard count)` pair, comparing
+/// the reloaded sharded graph against the in-memory original and spotting
+/// that each shard also loads standalone.
+fn check(g: &Graph, shards: usize, label: &str) {
+    let sg = ShardedGraph::build(g, shards);
+    let dir = scratch_dir(label);
+    storage::save_sharded(&sg, &dir).unwrap();
+
+    let store = storage::ShardStore::open(&dir).unwrap();
+    assert_eq!(store.num_shards(), sg.num_shards(), "{label}");
+    assert_eq!(store.num_nodes(), g.num_nodes(), "{label}");
+    assert_eq!(store.plan(), sg.plan(), "{label}");
+
+    // Shard-by-shard loads: each file is self-contained, so stepping a
+    // larger-than-RAM graph only ever needs the current shard resident.
+    let mut scratch = Vec::new();
+    for s in 0..store.num_shards() {
+        let shard = store.load_shard(s).unwrap();
+        assert_eq!(shard, *sg.shard(s), "{label}: shard {s}");
+        let (lo, hi) = store.plan().range(s);
+        for v in lo..hi {
+            shard.write_global_row(v - lo, &mut scratch);
+            assert_eq!(scratch, g.neighbor_vec(NodeId(v)), "{label}: row of v{v}");
+        }
+    }
+
+    // Whole-graph load reassembles the exact original.
+    assert_eq!(store.load().unwrap(), sg, "{label}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_graphs_roundtrip_through_disk() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let gnp = generators::connected_gnp(90, 0.08, &mut rng);
+    for shards in [1, 2, 3, 7] {
+        check(&gnp, shards, "gnp");
+    }
+}
+
+#[test]
+fn skewed_graphs_roundtrip_through_disk() {
+    let mut rng = StdRng::seed_from_u64(91);
+    let pl = generators::power_law(250, 3, &mut rng);
+    let star = generators::star(100);
+    let tri = generators::layered_tripartite(3);
+    for (g, label) in [(&pl, "power_law"), (&star, "star"), (&tri, "tripartite")] {
+        for shards in [2, 5] {
+            check(g, shards, label);
+        }
+    }
+}
+
+#[test]
+fn degenerate_graphs_roundtrip_through_disk() {
+    check(&Graph::empty(9), 3, "edgeless");
+    check(&generators::path(2), 2, "tiny");
+    check(&Graph::empty(0), 1, "empty");
+}
