@@ -6,12 +6,18 @@
 //! the natural alternative is flooding: every 1-hop neighbour forwards to
 //! all of its neighbours, costing one message per 2-path. This ablation
 //! measures both.
+//!
+//! The grid is the declarative [`sweeps::ablation_kt2_sweep`] spec and every
+//! algorithm seed comes from its per-cell seed grid (previously the loop
+//! reseeded each instance with its bare index, disconnected from the
+//! instance seed). All seeds of a cell run as lockstep lanes over the
+//! instance's one CSR via [`alg3_mis::run_batch`]; the flood-bound table
+//! uses lane 0, whose seed equals the historical single-run seed.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use symbreak_bench::sweeps;
 use symbreak_bench::workloads::gnp_instance;
 use symbreak_core::{alg3_mis, Alg3Config};
 
@@ -21,10 +27,13 @@ fn print_table() {
         "{:<8} {:>10} {:>22} {:>22}",
         "n", "m", "Alg3 total (KT-2)", "naive 2-hop flood bound"
     );
-    for (i, n) in [96usize, 192, 288].into_iter().enumerate() {
-        let inst = gnp_instance(n, 0.5, 900 + i as u64);
-        let mut rng = StdRng::seed_from_u64(i as u64);
-        let out = alg3_mis::run(&inst.graph, &inst.ids, Alg3Config::default(), &mut rng).unwrap();
+    let spec = sweeps::ablation_kt2_sweep(sweeps::default_lanes());
+    for (g, graph_spec) in spec.graphs.iter().enumerate() {
+        let inst = graph_spec.build();
+        let seeds = sweeps::seed_grid(spec.alg_seed_base + g as u64, spec.lanes);
+        let outs = alg3_mis::run_batch(&inst.graph, &inst.ids, Alg3Config::default(), &seeds)
+            .expect("Algorithm 3 failed on an ablation instance");
+        let out = &outs[0];
         // Naive flooding forwards every announcement over every incident
         // edge of every 1-hop neighbour: ≈ Σ_{u in MIS∩S} Σ_{v ∈ N(u)} deg(v)
         // messages. We bound it by |MIS∩S| · Δ² which is what a KT-1-only
@@ -33,7 +42,7 @@ fn print_table() {
         let flood_bound = mis_s as u64 * (inst.graph.max_degree() as u64).pow(2);
         println!(
             "{:<8} {:>10} {:>22} {:>22}",
-            n,
+            graph_spec.n,
             inst.graph.num_edges(),
             out.costs.total_messages(),
             flood_bound
@@ -45,10 +54,10 @@ fn print_table() {
 fn bench(c: &mut Criterion) {
     print_table();
     let inst = gnp_instance(96, 0.5, 901);
-    c.bench_function("alg3_full_run_n96", |b| {
+    let seeds = sweeps::seed_grid(7, sweeps::default_lanes());
+    c.bench_function("alg3_batched_run_n96", |b| {
         b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(7);
-            alg3_mis::run(&inst.graph, &inst.ids, Alg3Config::default(), &mut rng).unwrap()
+            alg3_mis::run_batch(&inst.graph, &inst.ids, Alg3Config::default(), &seeds).unwrap()
         })
     });
 }

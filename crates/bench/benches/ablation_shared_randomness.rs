@@ -13,6 +13,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use symbreak_bench::sweeps;
 use symbreak_bench::workloads::gnp_instance;
 use symbreak_core::partition::ChangPartition;
 use symbreak_ktrand::SharedRandomness;
@@ -23,8 +24,11 @@ fn print_table() {
         "{:<8} {:>10} {:>24} {:>24}",
         "n", "m", "hash-derived (messages)", "state exchange (messages)"
     );
-    for (i, n) in [96usize, 192, 384].into_iter().enumerate() {
-        let inst = gnp_instance(n, 0.5, 800 + i as u64);
+    // The graph grid comes from the declarative sweep registry; this
+    // ablation is pure counting (no simulation runs to batch).
+    for graph_spec in sweeps::ablation_shared_rand_graphs() {
+        let n = graph_spec.n;
+        let inst = graph_spec.build();
         // Hash-derived: a node evaluates the shared hash functions on its
         // neighbours' IDs (KT-1) — zero messages beyond the seed broadcast,
         // which costs n − 1 messages per 64-bit word over the danner tree.

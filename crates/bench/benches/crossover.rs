@@ -4,35 +4,26 @@
 //! linearly with density while Algorithm 1 / Algorithm 3 stay roughly flat,
 //! so the paper's algorithms win exactly on the dense instances the
 //! introduction motivates.
+//!
+//! The grid is the declarative [`sweeps::crossover_sweep`] spec executed
+//! batched (lockstep lanes, sequential differential oracle); the printed
+//! table is the lane-0 slice, matching the historical single-seed rows.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use symbreak_bench::sweeps;
 use symbreak_bench::workloads::gnp_instance;
-use symbreak_core::{experiments, MeasurementTable};
+use symbreak_core::experiments;
 
 fn print_table() {
-    println!("\n=== CROSSOVER: density sweep at n = 192, G(n, p) ===");
-    let mut table = MeasurementTable::new();
-    for (i, p) in [0.05f64, 0.15, 0.4, 0.8].into_iter().enumerate() {
-        let inst = gnp_instance(192, p, 600 + i as u64);
-        table.push(experiments::measure_alg1(&inst.graph, &inst.ids, i as u64));
-        table.push(experiments::measure_coloring_baseline(
-            &inst.graph,
-            &inst.ids,
-            i as u64,
-        ));
-        table.push(experiments::measure_alg3(&inst.graph, &inst.ids, i as u64));
-        table.push(experiments::measure_luby_baseline(
-            &inst.graph,
-            &inst.ids,
-            i as u64,
-        ));
-    }
-    println!("{table}");
+    let cells = sweeps::run_sweep(&sweeps::crossover_sweep(sweeps::default_lanes()));
+    println!("\n=== CROSSOVER: density sweep at fixed n, G(n, p) ===");
+    println!("{}", sweeps::lane0_table(&cells));
     println!(
-        "(rows are grouped in blocks of four per density: Alg1, coloring baseline, Alg3, Luby)\n"
+        "(rows are grouped in blocks of four per density: Alg1, coloring baseline, Alg3, Luby)"
     );
+    sweeps::print_speedup_summary(&cells);
 }
 
 fn bench(c: &mut Criterion) {

@@ -2,36 +2,37 @@
 //!
 //! Sweeps both `n` (message growth ≈ linear in n) and `ε` (cost grows as ε
 //! shrinks) and prints the Figure-1-style rows.
+//!
+//! Both grids are declarative [`sweeps`] specs executed batched (lockstep
+//! lanes, sequential differential oracle); the printed tables are the
+//! lane-0 slices, matching the historical single-seed rows.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use symbreak_bench::workloads::{fit_exponent, gnp_instance, standard_n_sweep};
-use symbreak_core::{experiments, MeasurementTable};
+use symbreak_bench::sweeps;
+use symbreak_bench::workloads::{fit_exponent, gnp_instance};
+use symbreak_core::experiments;
 
 fn print_table() {
-    let mut table = MeasurementTable::new();
-    let mut points = Vec::new();
-    for (i, n) in standard_n_sweep().into_iter().enumerate() {
-        let inst = gnp_instance(n, 0.5, 200 + i as u64);
-        let row = experiments::measure_alg2(&inst.graph, &inst.ids, 0.5, i as u64);
-        points.push((n as f64, row.total_messages() as f64));
-        table.push(row);
-    }
+    let lanes = sweeps::default_lanes();
+    let cells = sweeps::run_sweep(&sweeps::fig1_eps_n_sweep(lanes));
+    let points: Vec<(f64, f64)> = cells
+        .iter()
+        .map(|c| (c.n as f64, c.rows[0].total_messages() as f64))
+        .collect();
     println!("\n=== F1-EPS-COL-UB: Algorithm 2 across n (ε = 0.5), G(n, 0.5) ===");
-    println!("{table}");
+    println!("{}", sweeps::lane0_table(&cells));
     println!(
-        "fitted message-growth exponent ≈ n^{:.2} (paper: Õ(n/ε²), i.e. ≈ 1 in n)\n",
+        "fitted message-growth exponent ≈ n^{:.2} (paper: Õ(n/ε²), i.e. ≈ 1 in n)",
         fit_exponent(&points)
     );
+    sweeps::print_speedup_summary(&cells);
 
-    let inst = gnp_instance(192, 0.5, 300);
-    let mut table = MeasurementTable::new();
-    for eps in [0.1, 0.2, 0.5, 1.0] {
-        table.push(experiments::measure_alg2(&inst.graph, &inst.ids, eps, 9));
-    }
-    println!("=== F1-EPS-COL-UB: ε sweep at n = 192 (smaller ε ⇒ more messages) ===");
-    println!("{table}");
+    let cells = sweeps::run_sweep(&sweeps::fig1_eps_eps_sweep(lanes));
+    println!("=== F1-EPS-COL-UB: ε sweep on one instance (smaller ε ⇒ more messages) ===");
+    println!("{}", sweeps::lane0_table(&cells));
+    sweeps::print_speedup_summary(&cells);
 }
 
 fn bench(c: &mut Criterion) {

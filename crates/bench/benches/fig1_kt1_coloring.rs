@@ -4,35 +4,39 @@
 //! variant of Theorem 3.4): message counts of Algorithm 1 across an `n`
 //! sweep on dense `G(n, p)` graphs, compared against `m` and against the
 //! Θ(m)-message baseline, plus a fitted growth exponent.
+//!
+//! The grid is the declarative [`sweeps::fig1_kt1_sweep`] spec, executed
+//! batched (all seeds in lockstep lanes over each instance's one CSR) with
+//! the sequential runs as differential oracle; the printed table is the
+//! lane-0 slice, which matches the historical single-seed rows exactly.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use symbreak_bench::workloads::{fit_exponent, gnp_instance, standard_n_sweep};
-use symbreak_core::{experiments, MeasurementTable};
+use symbreak_bench::sweeps;
+use symbreak_bench::workloads::{fit_exponent, gnp_instance};
+use symbreak_core::experiments;
 
 fn print_table() {
-    let mut table = MeasurementTable::new();
-    let mut points = Vec::new();
-    let mut baseline_points = Vec::new();
-    for (i, n) in standard_n_sweep().into_iter().enumerate() {
-        let inst = gnp_instance(n, 0.5, 100 + i as u64);
-        let row = experiments::measure_alg1(&inst.graph, &inst.ids, i as u64);
-        points.push((n as f64, row.total_messages() as f64));
-        table.push(row);
-        let row = experiments::measure_coloring_baseline(&inst.graph, &inst.ids, i as u64);
-        baseline_points.push((n as f64, row.total_messages() as f64));
-        table.push(row);
-        let row = experiments::measure_alg1_async(&inst.graph, &inst.ids, i as u64);
-        table.push(row);
-    }
+    let cells = sweeps::run_sweep(&sweeps::fig1_kt1_sweep(sweeps::default_lanes()));
+    let points: Vec<(f64, f64)> = cells
+        .iter()
+        .filter(|c| c.algorithm == "alg1")
+        .map(|c| (c.n as f64, c.rows[0].total_messages() as f64))
+        .collect();
+    let baseline_points: Vec<(f64, f64)> = cells
+        .iter()
+        .filter(|c| c.algorithm == "coloring_baseline")
+        .map(|c| (c.n as f64, c.rows[0].total_messages() as f64))
+        .collect();
     println!("\n=== F1-KT1-COL-UB: Algorithm 1 vs the Θ(m) baseline, G(n, 0.5) ===");
-    println!("{table}");
+    println!("{}", sweeps::lane0_table(&cells));
     println!(
-        "fitted message-growth exponent: Alg1 ≈ n^{:.2} (paper: Õ(n^1.5)), baseline ≈ n^{:.2} (≈ m = Θ(n²))\n",
+        "fitted message-growth exponent: Alg1 ≈ n^{:.2} (paper: Õ(n^1.5)), baseline ≈ n^{:.2} (≈ m = Θ(n²))",
         fit_exponent(&points),
         fit_exponent(&baseline_points)
     );
+    sweeps::print_speedup_summary(&cells);
 }
 
 fn bench(c: &mut Criterion) {

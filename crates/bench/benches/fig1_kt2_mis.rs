@@ -3,33 +3,38 @@
 //!
 //! Prints Algorithm 3's message counts across an `n` sweep on dense graphs
 //! next to Luby's Θ(m)-message baseline, with fitted growth exponents.
+//!
+//! The grid is the declarative [`sweeps::fig1_kt2_sweep`] spec executed
+//! batched (lockstep lanes, sequential differential oracle); the printed
+//! table is the lane-0 slice, matching the historical single-seed rows.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use symbreak_bench::workloads::{fit_exponent, gnp_instance, standard_n_sweep};
-use symbreak_core::{experiments, MeasurementTable};
+use symbreak_bench::sweeps;
+use symbreak_bench::workloads::{fit_exponent, gnp_instance};
+use symbreak_core::experiments;
 
 fn print_table() {
-    let mut table = MeasurementTable::new();
-    let mut alg3_points = Vec::new();
-    let mut luby_points = Vec::new();
-    for (i, n) in standard_n_sweep().into_iter().enumerate() {
-        let inst = gnp_instance(n, 0.5, 400 + i as u64);
-        let row = experiments::measure_alg3(&inst.graph, &inst.ids, i as u64);
-        alg3_points.push((n as f64, row.total_messages() as f64));
-        table.push(row);
-        let row = experiments::measure_luby_baseline(&inst.graph, &inst.ids, i as u64);
-        luby_points.push((n as f64, row.total_messages() as f64));
-        table.push(row);
-    }
+    let cells = sweeps::run_sweep(&sweeps::fig1_kt2_sweep(sweeps::default_lanes()));
+    let alg3_points: Vec<(f64, f64)> = cells
+        .iter()
+        .filter(|c| c.algorithm == "alg3")
+        .map(|c| (c.n as f64, c.rows[0].total_messages() as f64))
+        .collect();
+    let luby_points: Vec<(f64, f64)> = cells
+        .iter()
+        .filter(|c| c.algorithm == "luby_baseline")
+        .map(|c| (c.n as f64, c.rows[0].total_messages() as f64))
+        .collect();
     println!("\n=== F1-KT2-MIS-UB: Algorithm 3 (KT-2) vs Luby (KT-1, Θ(m)), G(n, 0.5) ===");
-    println!("{table}");
+    println!("{}", sweeps::lane0_table(&cells));
     println!(
-        "fitted exponents: Alg3 ≈ n^{:.2} (paper: Õ(n^1.5)), Luby ≈ n^{:.2} (≈ m = Θ(n²))\n",
+        "fitted exponents: Alg3 ≈ n^{:.2} (paper: Õ(n^1.5)), Luby ≈ n^{:.2} (≈ m = Θ(n²))",
         fit_exponent(&alg3_points),
         fit_exponent(&luby_points)
     );
+    sweeps::print_speedup_summary(&cells);
 }
 
 fn bench(c: &mut Criterion) {

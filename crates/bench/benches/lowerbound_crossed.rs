@@ -4,12 +4,18 @@
 //! *correct* comparison-based algorithm utilizes (Definition 2.3) and how
 //! often the crossed pair `(e, e′)` is utilized — the empirical mechanism of
 //! the Ω(n²) bound.
+//!
+//! The grid is the declarative [`sweeps::lowerbound_crossed_sweep`] spec:
+//! every cell derives its own RNG from the spec seed and the cell
+//! coordinates, so rows are reproducible independently (the old loop
+//! threaded one RNG through every cell, entangling them).
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use symbreak_bench::sweeps;
 use symbreak_bench::workloads::fit_exponent;
 use symbreak_lowerbounds::experiments::{crossed_utilization_experiment, Problem};
 
@@ -21,17 +27,18 @@ fn print_table() {
         "{:<14} {:>4} {:>6} {:>10} {:>12} {:>16} {:>14}",
         "problem", "t", "n", "edges", "utilized", "utilized frac", "pair hit"
     );
-    let mut rng = StdRng::seed_from_u64(2);
-    for problem in [Problem::Coloring, Problem::Mis] {
+    let spec = sweeps::lowerbound_crossed_sweep();
+    let cells = sweeps::run_crossed_sweep(&spec);
+    for &problem in &spec.problems {
         let mut points = Vec::new();
-        for t in [4usize, 6, 8, 12] {
-            let stats = crossed_utilization_experiment(problem, t, 5, &mut rng);
-            points.push((6.0 * t as f64, stats.avg_utilized_edges));
+        for cell in cells.iter().filter(|c| c.problem == problem) {
+            let stats = &cell.stats;
+            points.push((6.0 * stats.t as f64, stats.avg_utilized_edges));
             println!(
                 "{:<14} {:>4} {:>6} {:>10} {:>12.1} {:>15.0}% {:>11}/{}",
                 format!("{problem:?}"),
-                t,
-                6 * t,
+                stats.t,
+                6 * stats.t,
                 stats.base_edges,
                 stats.avg_utilized_edges,
                 100.0 * stats.utilized_fraction(),

@@ -3,12 +3,16 @@
 //! On the disjoint-cycle family, measures the messages sent by correct
 //! algorithms (they scale linearly with n and leave no cycle mute) and shows
 //! that a radius-ρ "silent rule" is defeated by some ID assignment.
+//!
+//! The grid is the declarative [`sweeps::lowerbound_cycles_sweep`] spec with
+//! per-cell derived RNGs (see the crossed-family bench for the rationale).
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use symbreak_bench::sweeps;
 use symbreak_bench::workloads::fit_exponent;
 use symbreak_lowerbounds::cycles::{find_failing_assignment, rank_mod3_rule, CycleFamily};
 use symbreak_lowerbounds::experiments::{cycle_message_experiment, Problem};
@@ -19,11 +23,12 @@ fn print_table() {
         "{:<10} {:>8} {:>10} {:>12} {:>12}",
         "problem", "n", "messages", "msgs/node", "mute cycles"
     );
-    let mut rng = StdRng::seed_from_u64(4);
-    for problem in [Problem::Coloring, Problem::Mis] {
+    let spec = sweeps::lowerbound_cycles_sweep();
+    let cells = sweeps::run_cycle_sweep(&spec);
+    for &problem in &spec.problems {
         let mut points = Vec::new();
-        for count in [8usize, 16, 32, 64] {
-            let stats = cycle_message_experiment(problem, count, 8, &mut rng);
+        for cell in cells.iter().filter(|c| c.problem == problem) {
+            let stats = &cell.stats;
             points.push((stats.n as f64, stats.messages as f64));
             println!(
                 "{:<10} {:>8} {:>10} {:>12.2} {:>12}",
@@ -39,6 +44,7 @@ fn print_table() {
             fit_exponent(&points)
         );
     }
+    let mut rng = StdRng::seed_from_u64(4);
     let family = CycleFamily::new(4, 9);
     let tries = find_failing_assignment(&family, 1, rank_mod3_rule, 500, &mut rng);
     println!("silent radius-1 rule defeated after {tries:?} random ID assignments\n");

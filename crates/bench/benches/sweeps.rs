@@ -1,0 +1,132 @@
+//! SWEEPS — the batched sweep registry, executed end to end.
+//!
+//! Runs every [`symbreak_bench::sweeps`] spec (the declarative form of the
+//! Figure-1 / crossover / ablation grids): each cell advances all of its
+//! seeds in **lockstep lanes** over one shared CSR, then re-runs them
+//! sequentially as the wall-clock baseline and differential oracle (the
+//! driver asserts batched rows ≡ sequential rows). The lower-bound
+//! experiment grids run afterwards as declarative, instrumented sweeps with
+//! no speedup claim.
+//!
+//! Full runs rewrite `BENCH_sweeps.json` at the workspace root (one JSON
+//! object per line). The run *gates* on amortization: at least one batched
+//! cell must reach ≥ 1.0× over sequential (≥ 0.9× under `SWEEP_SMOKE=1`,
+//! where graphs are tiny and per-run overhead dominates).
+//!
+//! Run with `cargo bench --bench sweeps`; set `SWEEP_SMOKE=1` for the
+//! reduced CI grid (no artifact is written).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbreak_bench::sweeps;
+use symbreak_core::experiments;
+
+fn run_registry() {
+    use std::io::Write;
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweeps.json");
+    let mut json = (!sweeps::smoke())
+        .then(|| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(json_path)
+                .ok()
+        })
+        .flatten();
+    println!(
+        "\n=== sweeps: {} lockstep lanes vs seed-by-seed sequential{} ===",
+        sweeps::default_lanes(),
+        if sweeps::smoke() { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<16} {:<18} {:<22} {:>3} {:>14} {:>14} {:>8}",
+        "sweep", "graph", "algorithm", "B", "batched", "sequential", "speedup"
+    );
+    let mut best_speedup = f64::MIN;
+    let mut best_cell = String::new();
+    for spec in sweeps::standard_sweeps() {
+        for cell in sweeps::run_sweep(&spec) {
+            cell.print();
+            assert!(
+                cell.rows.iter().all(|r| r.valid),
+                "sweep {}/{}/{}: invalid output",
+                cell.sweep,
+                cell.graph,
+                cell.algorithm
+            );
+            if let Some(f) = json.as_mut() {
+                let _ = writeln!(f, "{}", cell.json());
+            }
+            if cell.batched && cell.speedup() > best_speedup {
+                best_speedup = cell.speedup();
+                best_cell = format!("{}/{}/{}", cell.sweep, cell.graph, cell.algorithm);
+            }
+        }
+    }
+    println!("\n--- lower-bound grids (instrumented; no speedup claim) ---");
+    for cell in sweeps::run_crossed_sweep(&sweeps::lowerbound_crossed_sweep()) {
+        println!(
+            "{:<20} {:?} t={:<3} utilized {:>8.1}/{} edges",
+            cell.sweep,
+            cell.problem,
+            cell.stats.t,
+            cell.stats.avg_utilized_edges,
+            cell.stats.base_edges
+        );
+        if let Some(f) = json.as_mut() {
+            let _ = writeln!(f, "{}", cell.json());
+        }
+    }
+    for cell in sweeps::run_cycle_sweep(&sweeps::lowerbound_cycles_sweep()) {
+        println!(
+            "{:<20} {:?} cycles={:<3} messages {:>8} mute {}",
+            cell.sweep, cell.problem, cell.count, cell.stats.messages, cell.stats.mute_cycles
+        );
+        if let Some(f) = json.as_mut() {
+            let _ = writeln!(f, "{}", cell.json());
+        }
+    }
+    // The amortization gate. Tiny smoke graphs leave little shared work to
+    // amortize, so CI only requires near-parity there; full-size runs must
+    // show a real win somewhere in the registry.
+    let floor = if sweeps::smoke() { 0.9 } else { 1.0 };
+    assert!(
+        best_speedup >= floor,
+        "no batched sweep cell reached {floor:.1}x over sequential (best: {best_speedup:.2}x \
+         at {best_cell})"
+    );
+    println!("\nbest batched speedup: {best_speedup:.2}x ({best_cell})");
+}
+
+fn bench(c: &mut Criterion) {
+    run_registry();
+    // Criterion samples one batched cell so lane-engine regressions show up
+    // as per-iteration time: the crossover instance under the Θ(m) coloring
+    // baseline, all lanes in lockstep.
+    let spec = sweeps::GraphSpec {
+        n: if sweeps::smoke() { 48 } else { 192 },
+        p: 0.4,
+        instance_seed: 600,
+    };
+    let inst = spec.build();
+    let seeds = sweeps::seed_grid(0, sweeps::default_lanes());
+    c.bench_function("sweeps_coloring_baseline_batched", |b| {
+        b.iter(|| experiments::measure_coloring_baseline_batch(&inst.graph, &inst.ids, &seeds))
+    });
+    c.bench_function("sweeps_alg3_batched", |b| {
+        b.iter(|| experiments::measure_alg3_batch(&inst.graph, &inst.ids, &seeds))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -8,4 +8,5 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweeps;
 pub mod workloads;

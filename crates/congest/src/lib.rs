@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod async_sim;
+mod batch;
 mod engine;
 mod error;
 mod knowledge;
@@ -72,6 +73,7 @@ mod sync;
 pub mod trace;
 pub mod trace_store;
 
+pub use batch::BatchSimulator;
 pub use engine::{NoopObserver, RoundObserver};
 pub use error::SimError;
 pub use knowledge::KnowledgeView;
@@ -79,4 +81,4 @@ pub use message::{Message, MAX_ID_FIELDS, MAX_VALUE_FIELDS};
 pub use metrics::{CostAccount, PhaseCost};
 pub use model::KtLevel;
 pub use node::{NodeAlgorithm, NodeInit, RoundContext};
-pub use sync::{ExecutionReport, SyncConfig, SyncSimulator, SHARDS_ENV, THREADS_ENV};
+pub use sync::{ExecutionReport, SyncConfig, SyncSimulator, LANES_ENV, SHARDS_ENV, THREADS_ENV};

@@ -60,10 +60,16 @@ pub const THREADS_ENV: &str = "CONGEST_THREADS";
 /// the sharded stepping path).
 pub const SHARDS_ENV: &str = "CONGEST_SHARDS";
 
+/// Environment variable overriding the lane count of
+/// [`SyncConfig::lanes`]` = 0` — the default batch width of
+/// [`crate::BatchSimulator`] runs (used by CI to push whole test suites
+/// through the lockstep batch loop).
+pub const LANES_ENV: &str = "CONGEST_LANES";
+
 /// Rounds with fewer active nodes than this per shard run single-sharded
 /// (inline, no cross-thread dispatch) — fork-join overhead would dwarf the
 /// work. Exceeding it does not force parallelism; it only permits it.
-const MIN_ACTIVE_PER_SHARD: usize = 32;
+pub(crate) const MIN_ACTIVE_PER_SHARD: usize = 32;
 
 /// Shards per worker thread: the active list is cut into up to this many
 /// shards per thread, claimed dynamically (see the vendored
@@ -72,7 +78,7 @@ const MIN_ACTIVE_PER_SHARD: usize = 32;
 /// hub's inbox — keeps one worker busy while the others drain the rest.
 /// Shard boundaries stay deterministic, so the `flip_shards` merge order
 /// (and therefore the report) is bit-identical at any thread count.
-const SHARD_OVERSUBSCRIPTION: usize = 4;
+pub(crate) const SHARD_OVERSUBSCRIPTION: usize = 4;
 
 /// Configuration of a synchronous run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -108,6 +114,14 @@ pub struct SyncConfig {
     /// Reports are bit-identical to the unsharded engine at any
     /// shard/thread combination.
     pub shards: usize,
+    /// Execution lanes for batched multi-execution runs
+    /// ([`crate::BatchSimulator`]). `0` (the default) resolves to the
+    /// `CONGEST_LANES` environment variable if set, else to `1` (a single
+    /// lane). Plain [`SyncSimulator`] runs ignore this knob; batch runs step
+    /// this many statistically independent executions in lockstep over one
+    /// shared CSR, and lane `k` of a batched run is bit-identical to a
+    /// sequential run with that lane's seed.
+    pub lanes: usize,
 }
 
 impl Default for SyncConfig {
@@ -120,6 +134,7 @@ impl Default for SyncConfig {
             track_per_edge: false,
             threads: 0,
             shards: 0,
+            lanes: 0,
         }
     }
 }
@@ -154,6 +169,29 @@ impl SyncConfig {
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
         self
+    }
+
+    /// Sets the batch lane count (`0` = automatic; see
+    /// [`SyncConfig::lanes`]).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// The effective lane count: an explicit setting wins, then the
+    /// `CONGEST_LANES` environment variable, then `1` (a single lane).
+    pub fn resolved_lanes(&self) -> usize {
+        if self.lanes > 0 {
+            return self.lanes;
+        }
+        if let Ok(raw) = std::env::var(LANES_ENV) {
+            if let Ok(v) = raw.trim().parse::<usize>() {
+                if v > 0 {
+                    return v;
+                }
+            }
+        }
+        1
     }
 
     /// The effective shard count: an explicit setting wins, then the
@@ -1075,7 +1113,12 @@ fn plan_shards<A: NodeAlgorithm>(
 /// node received a message (all-to-all rounds) the union is trivially the
 /// receiver list, which is taken over wholesale in O(1) instead of merged.
 /// Returns whether the new active set provably covers every node.
-fn next_active(receivers: &mut Vec<u32>, undone: &[u32], active: &mut Vec<u32>, n: usize) -> bool {
+pub(crate) fn next_active(
+    receivers: &mut Vec<u32>,
+    undone: &[u32],
+    active: &mut Vec<u32>,
+    n: usize,
+) -> bool {
     if receivers.len() == n {
         std::mem::swap(receivers, active);
         true

@@ -11,10 +11,11 @@
 //! of all `deg(v)` of them. Ties within a phase are broken towards the
 //! smaller ID.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use symbreak_congest::{
-    CostAccount, ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig,
-    SyncSimulator,
+    BatchSimulator, CostAccount, ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext,
+    SyncConfig, SyncSimulator,
 };
 use symbreak_danner::{ops, setup};
 use symbreak_graphs::{properties, Graph, IdAssignment, NodeId};
@@ -361,6 +362,170 @@ fn run_phases_config(
     }
 }
 
+/// [`run_phases`], batched: lane `k` runs the colour-trial phases with
+/// `shared[k]` over the [`BatchSimulator`]'s shared CSR, bit-identical to
+/// [`run_phases`] with the same randomness. The flat automaton has no
+/// per-node RNG — all per-lane variation enters through the lane's shared
+/// randomness (and hence its derived phase hashes); the history-free
+/// neighbour table is lane-invariant and built once.
+///
+/// # Panics
+///
+/// Panics if `shared` is empty, the simulator is not KT-1, or any lane fails
+/// to quiesce within the round limit.
+pub fn run_phases_batch_on(
+    sim: &BatchSimulator<'_>,
+    shared: &[SharedRandomness],
+    palette_size: u64,
+    max_phases: usize,
+    config: SyncConfig,
+) -> Vec<(Vec<Option<u64>>, ExecutionReport)> {
+    assert!(!shared.is_empty(), "batched phases need at least one lane");
+    assert_eq!(sim.level(), KtLevel::KT1, "Algorithm 2 runs in KT-1");
+    let n = sim.graph().num_nodes();
+    let independence = tail::log_n_independence(n);
+    let lane_hashes: Vec<Vec<KWiseHash>> = shared
+        .iter()
+        .map(|s| {
+            let scratch = s.clone();
+            (0..max_phases)
+                .map(|j| scratch.indexed_hash_fn("alg2.phase", j, independence, palette_size))
+                .collect()
+        })
+        .collect();
+    let neighbor_table = crate::query_coloring::QueryPlan::new(sim.graph(), sim.ids(), Vec::new());
+    let reports = sim.run_batch(config, shared.len(), |k, init| FlatAlg2Node {
+        own_id: init.knowledge.own_id(),
+        color: None,
+        neighbor_ids: neighbor_table.neighbor_row(init.node),
+        hashes: &lane_hashes[k],
+        phase: 0,
+        max_phases,
+        candidate: None,
+    });
+    reports
+        .into_iter()
+        .map(|mut report| {
+            assert!(report.completed, "Algorithm 2 phases did not quiesce");
+            let colors = std::mem::take(&mut report.outputs);
+            (colors, report)
+        })
+        .collect()
+}
+
+/// Runs Algorithm 2 once per seed, advancing the colour-trial phases of all
+/// lanes in lockstep over one shared CSR. Lane `k` is **bit-identical**
+/// (colours, per-phase cost account) to [`run`] with
+/// `StdRng::seed_from_u64(seeds[k])` — the seed-independent setup (danner,
+/// leader, broadcast tree, Δ casts) is computed once and shared by every
+/// lane, the per-lane seed words travel in one batched broadcast, and the
+/// single phases stage is batched.
+///
+/// # Errors
+///
+/// Same conditions as [`run`]; the first failing lane fails the whole batch.
+pub fn run_batch(
+    graph: &Graph,
+    ids: &IdAssignment,
+    config: Alg2Config,
+    seeds: &[u64],
+) -> Result<Vec<Alg2Outcome>, CoreError> {
+    if config.epsilon <= 0.0 || config.epsilon.is_nan() {
+        return Err(CoreError::InvalidParameter {
+            name: "epsilon",
+            message: format!("epsilon = {} must be positive", config.epsilon),
+        });
+    }
+    if seeds.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Ok(seeds
+            .iter()
+            .map(|_| Alg2Outcome {
+                colors: Vec::new(),
+                costs: CostAccount::new(),
+                palette_size: 1,
+                max_degree: 0,
+            })
+            .collect());
+    }
+    if !properties::is_connected(graph) {
+        return Err(CoreError::Disconnected);
+    }
+    let log_n = (n.max(2) as f64).log2();
+    let seed_bits = ((log_n.powi(3) / config.epsilon).ceil() as usize).max(64);
+    let degrees: Vec<u64> = graph.nodes().map(|v| graph.degree(v) as u64).collect();
+
+    // Shared setup plan: the danner, the leader and the broadcast tree are
+    // pure functions of `(graph, ids, δ)` — one plan serves every lane. Each
+    // lane draws its own seed words (exactly the sequential draw) and one
+    // lockstep broadcast distributes all lanes' words over the danner; the
+    // Δ convergecast/broadcast are lane-invariant and run once, with their
+    // reports charged to every lane.
+    let plan = setup::SetupPlan::new(graph, ids, config.delta)?;
+    let carrier = plan.carrier();
+    let tree = plan.tree();
+    let lane_words: Vec<Vec<u64>> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            plan.draw_words(seed_bits, &mut rng)
+        })
+        .collect();
+    let word_reports = ops::broadcast_words_batch(carrier, ids, tree, &lane_words);
+    let (max_degree, delta_up) = ops::convergecast_max(carrier, ids, tree, &degrees);
+    let delta_down = ops::broadcast_words(carrier, ids, tree, &[max_degree]);
+
+    let mut shareds: Vec<SharedRandomness> = Vec::with_capacity(seeds.len());
+    let mut costs: Vec<CostAccount> = Vec::with_capacity(seeds.len());
+    for (words, word_report) in lane_words.iter().zip(&word_reports) {
+        let mut setup_costs = plan.base_costs();
+        setup_costs.charge_report("seed broadcast over danner (simulated)", word_report);
+        let mut lane_costs = CostAccount::new();
+        lane_costs.absorb("setup", &setup_costs);
+        lane_costs.charge_report("Δ convergecast", &delta_up);
+        lane_costs.charge_report("Δ broadcast", &delta_down);
+        shareds.push(SharedRandomness::from_seed(words[0], seed_bits));
+        costs.push(lane_costs);
+    }
+
+    let palette_size = (((1.0 + config.epsilon) * max_degree as f64).ceil() as u64)
+        .max(max_degree + 1)
+        .max(1);
+    let max_phases =
+        ((config.phase_budget_factor * log_n / config.epsilon.min(1.0)).ceil() as usize).max(8);
+
+    let sim = BatchSimulator::new(graph, ids, KtLevel::KT1);
+    let results = run_phases_batch_on(
+        &sim,
+        &shareds,
+        palette_size,
+        max_phases,
+        SyncConfig::default().with_threads(config.threads),
+    );
+
+    results
+        .into_iter()
+        .zip(costs)
+        .map(|((colors, report), mut lane_costs)| {
+            lane_costs.charge_report("colour trial phases", &report);
+            if colors.iter().any(Option::is_none) {
+                return Err(CoreError::DidNotConverge {
+                    stage: "(1+ε)Δ colour trials",
+                });
+            }
+            Ok(Alg2Outcome {
+                colors,
+                costs: lane_costs,
+                palette_size,
+                max_degree,
+            })
+        })
+        .collect()
+}
+
 /// Runs Algorithm 2 end to end on a connected graph.
 ///
 /// # Errors
@@ -497,6 +662,21 @@ mod tests {
             "trial messages {trial_messages} should be below m = {}",
             g.num_edges()
         );
+    }
+
+    #[test]
+    fn batched_lanes_match_sequential_runs() {
+        let (g, ids) = instance(70, 0.5, 17);
+        let seeds = [31u64, 32, 33];
+        let batch = run_batch(&g, &ids, Alg2Config::default(), &seeds).unwrap();
+        assert_eq!(batch.len(), seeds.len());
+        for (lane, &seed) in batch.iter().zip(&seeds) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let solo = run(&g, &ids, Alg2Config::default(), &mut rng).unwrap();
+            assert_eq!(lane.colors, solo.colors, "seed {seed}");
+            assert_eq!(lane.palette_size, solo.palette_size, "seed {seed}");
+            assert_eq!(lane.costs, solo.costs, "seed {seed}");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use symbreak_classic::{coloring, mis};
-use symbreak_congest::{CostAccount, SyncConfig};
+use symbreak_congest::{BatchSimulator, CostAccount, KtLevel, SyncConfig};
 use symbreak_graphs::{Graph, IdAssignment};
 
 use crate::report::MeasurementRow;
@@ -94,6 +94,112 @@ pub fn measure_coloring_baseline(graph: &Graph, ids: &IdAssignment, seed: u64) -
     MeasurementRow::new("Johansson coloring baseline (Θ(m))", graph, &costs, valid)
 }
 
+/// [`measure_alg1`], batched: one row per seed, all lanes advanced in
+/// lockstep over one shared CSR. Row `k` equals `measure_alg1(graph, ids,
+/// seeds[k])`.
+///
+/// # Panics
+///
+/// Panics if any lane reports an error.
+pub fn measure_alg1_batch(graph: &Graph, ids: &IdAssignment, seeds: &[u64]) -> Vec<MeasurementRow> {
+    let outs = alg1_coloring::run_batch(graph, ids, Alg1Config::default(), seeds)
+        .expect("Algorithm 1 failed on a benchmark instance");
+    outs.iter()
+        .map(|out| {
+            let valid = coloring::verify::is_proper_coloring(graph, &out.colors)
+                && coloring::verify::uses_colors_below(&out.colors, graph.max_degree() as u64 + 1);
+            MeasurementRow::new("Alg1 (Δ+1)-coloring KT-1", graph, &out.costs, valid)
+        })
+        .collect()
+}
+
+/// [`measure_alg2`], batched: row `k` equals `measure_alg2(graph, ids,
+/// epsilon, seeds[k])`.
+///
+/// # Panics
+///
+/// Panics if any lane reports an error.
+pub fn measure_alg2_batch(
+    graph: &Graph,
+    ids: &IdAssignment,
+    epsilon: f64,
+    seeds: &[u64],
+) -> Vec<MeasurementRow> {
+    let config = Alg2Config {
+        epsilon,
+        ..Alg2Config::default()
+    };
+    let outs = alg2_coloring::run_batch(graph, ids, config, seeds)
+        .expect("Algorithm 2 failed on a benchmark instance");
+    outs.iter()
+        .map(|out| {
+            let valid = coloring::verify::is_proper_coloring(graph, &out.colors)
+                && coloring::verify::uses_colors_below(&out.colors, out.palette_size);
+            MeasurementRow::new(
+                format!("Alg2 (1+{epsilon})Δ-coloring KT-1"),
+                graph,
+                &out.costs,
+                valid,
+            )
+        })
+        .collect()
+}
+
+/// [`measure_alg3`], batched: row `k` equals `measure_alg3(graph, ids,
+/// seeds[k])`.
+///
+/// # Panics
+///
+/// Panics if any lane reports an error.
+pub fn measure_alg3_batch(graph: &Graph, ids: &IdAssignment, seeds: &[u64]) -> Vec<MeasurementRow> {
+    let outs = alg3_mis::run_batch(graph, ids, Alg3Config::default(), seeds)
+        .expect("Algorithm 3 failed on a benchmark instance");
+    outs.iter()
+        .map(|out| {
+            let valid = mis::verify::is_mis(graph, &out.in_mis);
+            MeasurementRow::new("Alg3 MIS KT-2", graph, &out.costs, valid)
+        })
+        .collect()
+}
+
+/// [`measure_luby_baseline`], batched: row `k` equals
+/// `measure_luby_baseline(graph, ids, seeds[k])`.
+pub fn measure_luby_baseline_batch(
+    graph: &Graph,
+    ids: &IdAssignment,
+    seeds: &[u64],
+) -> Vec<MeasurementRow> {
+    let sim = BatchSimulator::new(graph, ids, KtLevel::KT1);
+    mis::luby::run_batch(&sim, seeds, SyncConfig::default())
+        .into_iter()
+        .map(|(in_mis, report)| {
+            let valid = mis::verify::is_mis(graph, &in_mis);
+            let mut costs = CostAccount::new();
+            costs.charge_report("luby", &report);
+            MeasurementRow::new("Luby MIS baseline (Θ(m))", graph, &costs, valid)
+        })
+        .collect()
+}
+
+/// [`measure_coloring_baseline`], batched: row `k` equals
+/// `measure_coloring_baseline(graph, ids, seeds[k])`.
+pub fn measure_coloring_baseline_batch(
+    graph: &Graph,
+    ids: &IdAssignment,
+    seeds: &[u64],
+) -> Vec<MeasurementRow> {
+    let sim = BatchSimulator::new(graph, ids, KtLevel::KT1);
+    coloring::baseline::run_batch(&sim, seeds, SyncConfig::default())
+        .into_iter()
+        .map(|(colors, report)| {
+            let valid = coloring::verify::is_proper_coloring(graph, &colors);
+            let mut costs = CostAccount::new();
+            costs.charge_report("baseline", &report);
+            MeasurementRow::new("Johansson coloring baseline (Θ(m))", graph, &costs, valid)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +227,47 @@ mod tests {
             assert_eq!(row.n, 60);
             assert_eq!(row.m, g.num_edges());
         }
+    }
+
+    #[test]
+    fn batched_measurements_match_sequential_rows() {
+        let (g, ids) = instance(50, 0.4, 13);
+        let seeds = [21u64, 22];
+        assert_eq!(
+            measure_alg1_batch(&g, &ids, &seeds),
+            seeds
+                .iter()
+                .map(|&s| measure_alg1(&g, &ids, s))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            measure_alg2_batch(&g, &ids, 0.5, &seeds),
+            seeds
+                .iter()
+                .map(|&s| measure_alg2(&g, &ids, 0.5, s))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            measure_alg3_batch(&g, &ids, &seeds),
+            seeds
+                .iter()
+                .map(|&s| measure_alg3(&g, &ids, s))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            measure_luby_baseline_batch(&g, &ids, &seeds),
+            seeds
+                .iter()
+                .map(|&s| measure_luby_baseline(&g, &ids, s))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            measure_coloring_baseline_batch(&g, &ids, &seeds),
+            seeds
+                .iter()
+                .map(|&s| measure_coloring_baseline(&g, &ids, s))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

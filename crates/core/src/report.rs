@@ -7,7 +7,7 @@ use symbreak_congest::CostAccount;
 use symbreak_graphs::Graph;
 
 /// One row of a Figure-1-style measurement: an algorithm run on one instance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MeasurementRow {
     /// Algorithm label (e.g. "Alg1 (Δ+1)-coloring KT-1").
     pub algorithm: String,

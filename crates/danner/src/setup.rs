@@ -14,6 +14,102 @@ use symbreak_ktrand::SharedRandomness;
 use crate::ops::broadcast_words;
 use crate::{BfsTree, Danner, DannerError};
 
+/// The seed-independent prologue of the shared-randomness setup: the danner,
+/// the elected leader and the broadcast tree are pure functions of
+/// `(graph, ids, delta)` — no private coins touch them. A batched run
+/// computes the plan **once** and reuses it for every lane; only the random
+/// seed words (and their real broadcast) differ per lane.
+/// [`try_shared_randomness`] is exactly `SetupPlan::new` followed by one
+/// word draw and broadcast, so plan-sharing callers stay bit-identical to
+/// sequential ones (same phase labels, same charged costs, same draw order).
+#[derive(Debug, Clone)]
+pub struct SetupPlan {
+    danner: Danner,
+    leader: NodeId,
+    tree: BfsTree,
+    election_cost: PhaseCost,
+}
+
+impl SetupPlan {
+    /// Builds the danner, elects the leader and roots the broadcast tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`DannerError`] when the danner cannot be
+    /// built (disconnected graph or δ outside `[0, 1]`).
+    pub fn new(graph: &Graph, ids: &IdAssignment, delta: f64) -> Result<Self, DannerError> {
+        // Step 1a: danner construction (charged, Theorem 1.1).
+        let danner = Danner::build(graph, ids, delta)?;
+
+        // Step 1b: leader election over the danner (charged, Corollary 1.2):
+        // the minimum-ID node wins; the distributed election floods over the
+        // danner, costing O(|E(H)|) messages and O(diam(H)) rounds. The round
+        // charge is an estimate, so the O(m) double-sweep diameter bound
+        // (within a factor 2, exact on trees) replaces the exact O(n·m)
+        // sweep that dominated the whole setup beyond a few thousand nodes.
+        let leader = graph
+            .nodes()
+            .min_by_key(|&v| ids.id_of(v))
+            .expect("non-empty graph");
+        let diam_h = properties::diameter_double_sweep(danner.subgraph()).unwrap_or(0) as u64;
+        let election_cost = PhaseCost::charged(danner.num_edges() as u64, diam_h.max(1));
+
+        // Step 1c's tree: the leader's BFS tree of the danner.
+        let tree = BfsTree::rooted_at(danner.subgraph(), leader);
+        Ok(SetupPlan {
+            danner,
+            leader,
+            tree,
+            election_cost,
+        })
+    }
+
+    /// The danner subgraph `H` the seed words travel over.
+    pub fn carrier(&self) -> &Graph {
+        self.danner.subgraph()
+    }
+
+    /// The broadcast tree rooted at the leader.
+    pub fn tree(&self) -> &BfsTree {
+        &self.tree
+    }
+
+    /// The elected leader (the minimum-ID node).
+    pub fn leader(&self) -> NodeId {
+        self.leader
+    }
+
+    /// The underlying danner.
+    pub fn danner(&self) -> &Danner {
+        &self.danner
+    }
+
+    /// The charged construction + election phases, in the order
+    /// [`try_shared_randomness`] records them. Each lane of a batched run
+    /// charges a copy of these (the work happened once, but every simulated
+    /// execution's account reflects the distributed cost it would have paid).
+    pub fn base_costs(&self) -> CostAccount {
+        let mut costs = CostAccount::new();
+        costs.charge(
+            "danner construction (charged, Thm 1.1)",
+            self.danner.construction_cost(),
+        );
+        costs.charge(
+            "leader election over danner (charged, Cor 1.2)",
+            self.election_cost,
+        );
+        costs
+    }
+
+    /// Draws the `⌈budget_bits / 64⌉` seed words of one lane — exactly the
+    /// draw [`try_shared_randomness`] makes, so a lane RNG seeded the same
+    /// way yields the same words.
+    pub fn draw_words<R: Rng + ?Sized>(&self, budget_bits: usize, rng: &mut R) -> Vec<u64> {
+        let num_words = budget_bits.div_ceil(64).max(1);
+        (0..num_words).map(|_| rng.gen()).collect()
+    }
+}
+
 /// Result of the shared-randomness setup.
 #[derive(Debug, Clone)]
 pub struct SharedRandomnessOutcome {
@@ -61,40 +157,23 @@ pub fn try_shared_randomness<R: Rng + ?Sized>(
     budget_bits: usize,
     rng: &mut R,
 ) -> Result<SharedRandomnessOutcome, DannerError> {
-    let mut costs = CostAccount::new();
-
-    // Step 1a: danner construction (charged, Theorem 1.1).
-    let danner = Danner::build(graph, ids, delta)?;
-    costs.charge(
-        "danner construction (charged, Thm 1.1)",
-        danner.construction_cost(),
-    );
-
-    // Step 1b: leader election over the danner (charged, Corollary 1.2): the
-    // minimum-ID node wins; the distributed election floods over the danner,
-    // costing O(|E(H)|) messages and O(diam(H)) rounds. The round charge is
-    // an estimate, so the O(m) double-sweep diameter bound (within a factor
-    // 2, exact on trees) replaces the exact O(n·m) sweep that dominated the
-    // whole setup beyond a few thousand nodes.
-    let leader = graph
-        .nodes()
-        .min_by_key(|&v| ids.id_of(v))
-        .expect("non-empty graph");
-    let diam_h = properties::diameter_double_sweep(danner.subgraph()).unwrap_or(0) as u64;
-    costs.charge(
-        "leader election over danner (charged, Cor 1.2)",
-        PhaseCost::charged(danner.num_edges() as u64, diam_h.max(1)),
-    );
+    // Steps 1a/1b: the seed-independent prologue (danner + leader + tree).
+    let plan = SetupPlan::new(graph, ids, delta)?;
+    let mut costs = plan.base_costs();
 
     // Step 1c: the leader generates the random bits and broadcasts them over
     // a BFS tree of the danner — real, metered messages.
-    let tree = BfsTree::rooted_at(danner.subgraph(), leader);
-    let num_words = budget_bits.div_ceil(64).max(1);
-    let words: Vec<u64> = (0..num_words).map(|_| rng.gen()).collect();
-    let report = broadcast_words(danner.subgraph(), ids, &tree, &words);
+    let words = plan.draw_words(budget_bits, rng);
+    let report = broadcast_words(plan.carrier(), ids, &plan.tree, &words);
     costs.charge_report("seed broadcast over danner (simulated)", &report);
 
     let shared = SharedRandomness::from_seed(words[0], budget_bits);
+    let SetupPlan {
+        danner,
+        leader,
+        tree,
+        ..
+    } = plan;
     Ok(SharedRandomnessOutcome {
         shared,
         danner,
