@@ -45,11 +45,12 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use symbreak_congest::async_sim::{AsyncConfig, AsyncSimulator};
 use symbreak_congest::reference::NaiveSyncSimulator;
 use symbreak_congest::trace_store::MmapTraceObserver;
 use symbreak_congest::{
-    ExecutionReport, KtLevel, Message, NodeAlgorithm, NodeInit, RoundContext, SyncConfig,
-    SyncSimulator,
+    ExecutionReport, FaultPlan, KtLevel, Message, NodeAlgorithm, NodeInit, RoundContext,
+    SyncConfig, SyncSimulator,
 };
 use symbreak_graphs::{generators, Graph, IdAssignment, NodeId};
 
@@ -434,6 +435,7 @@ fn compare_engines() {
         }
     }
     trace_row(&mut json);
+    fault_seam_row(&mut json);
     if cores >= 4 {
         let ratio = mt_flood_ratio.expect("flood@random_d8_100000 must have run multi-threaded");
         // Only the full-size run is a fair test of parallel stepping: at
@@ -524,6 +526,79 @@ fn trace_row(json: &mut Option<std::fs::File>) {
         );
     }
     stored.remove().expect("spill hygiene");
+}
+
+/// The fault-seam row: the asynchronous flood at n = 10⁵ through `run`
+/// (the historical entry point) and through `run_with_faults` with an
+/// identity [`FaultPlan`]. The identity plan dispatches to the same
+/// `FAULTS = false` monomorphization, so enabling the fault seam must cost
+/// nothing — gated at ≥ 0.9× of the plain path on full-size runs
+/// (informational at smoke scale). The two measurements are interleaved,
+/// like the shards = 1 gate, so clock drift cannot fail the ratio.
+fn fault_seam_row(json: &mut Option<std::fs::File>) {
+    use std::io::Write;
+
+    let shrink = if smoke() { 16 } else { 1 };
+    let n = 100_000 / shrink;
+    let graph = generators::random_near_regular(n, 8, &mut StdRng::seed_from_u64(42));
+    let ids = IdAssignment::identity(n);
+    let sim = AsyncSimulator::new(&graph, &ids, KtLevel::KT1);
+    let config = AsyncConfig::default();
+    let plan = FaultPlan::default();
+    assert!(plan.is_identity());
+
+    let (mut plain_ns, mut seam_ns) = (f64::INFINITY, f64::INFINITY);
+    let mut messages = 0;
+    for k in 0..7u64 {
+        let t = Instant::now();
+        let plain = sim.run(config, &mut StdRng::seed_from_u64(k), |_| Flood::new());
+        plain_ns = plain_ns.min(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        let seam = sim.run_with_faults(config, &plan, &mut StdRng::seed_from_u64(k), |_| {
+            Flood::new()
+        });
+        seam_ns = seam_ns.min(t.elapsed().as_nanos() as f64);
+        assert!(plain.completed && seam.completed);
+        assert_eq!(plain, seam, "identity plan must be bit-identical to run()");
+        messages = plain.messages;
+    }
+    let ratio = plain_ns / seam_ns;
+    println!(
+        "{:<22} {:<13} {:>3} {:>3} {:>12} {:>12.2}ms {:>12.2}ms {:>8.2}x",
+        format!("random_d8_{n}"),
+        "async_fault0",
+        1,
+        0,
+        messages,
+        seam_ns / 1e6,
+        plain_ns / 1e6,
+        ratio,
+    );
+    if let Some(f) = json.as_mut() {
+        let _ = writeln!(
+            f,
+            "{{\"bench\":\"sim_engine\",\"graph\":\"random_d8_{n}\",\"workload\":\"async_fault0\",\
+             \"n\":{n},\"m\":{},\"threads\":1,\"shards\":0,\"messages\":{messages},\
+             \"seam_ns\":{seam_ns:.0},\"plain_ns\":{plain_ns:.0},\"ratio\":{ratio:.3}}}",
+            graph.num_edges(),
+        );
+    }
+    if smoke() {
+        if ratio < 0.9 {
+            println!(
+                "smoke: fault seam at {ratio:.2}x of the plain async path \
+                 (informational only at reduced n)"
+            );
+        }
+    } else {
+        assert!(
+            ratio >= 0.9,
+            "fault-seam regression: run_with_faults(identity) is {ratio:.2}x the plain \
+             async path (seam {:.2}ms vs {:.2}ms)",
+            seam_ns / 1e6,
+            plain_ns / 1e6
+        );
+    }
 }
 
 fn bench(c: &mut Criterion) {

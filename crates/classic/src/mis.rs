@@ -107,9 +107,11 @@ pub mod parallel_greedy {
     //! (Blelloch et al.), and finishes in `O(log n)` phases w.h.p.
     //! (Fischer–Noever).
 
+    use rand::Rng;
+    use symbreak_congest::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
     use symbreak_congest::{
-        BatchSimulator, ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig,
-        SyncSimulator,
+        run_synchronized, BatchSimulator, ExecutionReport, FaultPlan, KtLevel, Message,
+        NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
     };
     use symbreak_graphs::{AdjacencyArena, Graph, IdAssignment, NodeId};
 
@@ -337,6 +339,39 @@ pub mod parallel_greedy {
             config,
         )
     }
+
+    /// Runs the whole-graph parallel greedy MIS on the **asynchronous**
+    /// executor under a fault plan, via the α-synchronizer lockstep wrapper
+    /// ([`symbreak_congest::Synchronized`]).
+    ///
+    /// The synchronous run is executed first to fix the round budget (and
+    /// as the ground truth); the asynchronous replay then runs the same
+    /// automata for exactly that many lockstep rounds. On benign,
+    /// delay-only and duplicate/reorder schedules the asynchronous outputs
+    /// equal the synchronous outputs; under loss or crashes the run stalls
+    /// (`completed == false`) instead of emitting a wrong set.
+    pub fn run_async<R: Rng + ?Sized>(
+        graph: &Graph,
+        ids: &IdAssignment,
+        ranks: &[u64],
+        sync_config: SyncConfig,
+        async_config: AsyncConfig,
+        plan: &FaultPlan,
+        rng: &mut R,
+    ) -> (ExecutionReport, AsyncReport) {
+        let (_, sync_report) = run_on_whole_graph(graph, ids, ranks, sync_config);
+        let active: Vec<Vec<NodeId>> = graph.nodes().map(|v| graph.neighbor_vec(v)).collect();
+        let sim = AsyncSimulator::new(graph, ids, KtLevel::KT1);
+        let report = run_synchronized(&sim, async_config, plan, sync_report.rounds, rng, |init| {
+            let i = init.node.index();
+            Node {
+                state: State::Undecided,
+                rank: ranks[i],
+                active: active[i].clone(),
+            }
+        });
+        (sync_report, report)
+    }
 }
 
 pub mod luby {
@@ -344,9 +379,10 @@ pub mod luby {
 
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use symbreak_congest::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
     use symbreak_congest::{
-        BatchSimulator, ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig,
-        SyncSimulator,
+        run_synchronized, BatchSimulator, ExecutionReport, FaultPlan, KtLevel, Message,
+        NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
     };
     use symbreak_graphs::{AdjacencyArena, Graph, IdAssignment, NodeId};
 
@@ -596,6 +632,42 @@ pub mod luby {
             seed,
             config,
         )
+    }
+
+    /// Runs whole-graph Luby on the **asynchronous** executor under a fault
+    /// plan, via the α-synchronizer lockstep wrapper
+    /// ([`symbreak_congest::Synchronized`]).
+    ///
+    /// The synchronous baseline runs first to fix the round budget (and as
+    /// ground truth); the asynchronous replay then runs the same per-node
+    /// RNG schedules for exactly that many lockstep rounds. On benign,
+    /// delay-only and duplicate/reorder schedules the outputs equal the
+    /// synchronous outputs; loss or crashes stall the run instead of
+    /// producing a wrong set.
+    pub fn run_async<R: Rng + ?Sized>(
+        graph: &Graph,
+        ids: &IdAssignment,
+        seed: u64,
+        sync_config: SyncConfig,
+        async_config: AsyncConfig,
+        plan: &FaultPlan,
+        rng: &mut R,
+    ) -> (ExecutionReport, AsyncReport) {
+        let (_, sync_report) = run(graph, ids, seed, sync_config);
+        let active: Vec<Vec<NodeId>> = graph.nodes().map(|v| graph.neighbor_vec(v)).collect();
+        let sim = AsyncSimulator::new(graph, ids, KtLevel::KT1);
+        let report = run_synchronized(&sim, async_config, plan, sync_report.rounds, rng, |init| {
+            let i = init.node.index();
+            Node {
+                state: State::Undecided,
+                rng: StdRng::seed_from_u64(
+                    seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)),
+                ),
+                current: 0,
+                active: active[i].clone(),
+            }
+        });
+        (sync_report, report)
     }
 }
 

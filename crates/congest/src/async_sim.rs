@@ -24,14 +24,22 @@ use serde::{Deserialize, Serialize};
 use symbreak_graphs::{Graph, IdAssignment, NodeId};
 
 use crate::engine::NodeRuntime;
+use crate::faults::{FaultPlan, FaultSession, FaultStats};
 use crate::model::DEFAULT_MESSAGE_BITS;
 use crate::{KtLevel, Message, NodeAlgorithm, NodeInit};
 
 /// Extra messages incurred by running a `rounds`-round synchronous algorithm
 /// through an α-synchronizer on a subgraph with `active_edges` edges
 /// (Theorem A.5): at most `2 (rounds + 1) · active_edges`.
+///
+/// **Overflow policy:** the product saturates at `u64::MAX` instead of
+/// wrapping. The value is an upper bound that callers compare observed
+/// message counts against (or add to a budget), so for pathological
+/// synthetic inputs a clamped ceiling keeps every comparison conservative,
+/// whereas silent wrap-around would *under*-state the bound.
 pub fn alpha_synchronizer_overhead(rounds: u64, active_edges: u64) -> u64 {
-    2 * (rounds + 1) * active_edges
+    2u64.saturating_mul(rounds.saturating_add(1))
+        .saturating_mul(active_edges)
 }
 
 /// Cost of an asynchronous simulation derived from a synchronous execution:
@@ -97,6 +105,9 @@ pub struct AsyncReport {
     pub max_message_bits: u32,
     /// Final per-node outputs.
     pub outputs: Vec<Option<u64>>,
+    /// What the fault layer did (all zero on the fault-free path — identity
+    /// plans skip the bookkeeping entirely).
+    pub faults: FaultStats,
 }
 
 /// An event-driven executor that delivers each message after a random delay
@@ -155,13 +166,71 @@ impl<'g> AsyncSimulator<'g> {
         F: FnMut(NodeInit<'_>) -> A,
         R: Rng + ?Sized,
     {
+        self.run_inner::<A, F, R, false>(config, &FaultPlan::default(), rng, make)
+    }
+
+    /// Like [`AsyncSimulator::run`], under a fault scenario.
+    ///
+    /// Identity plans ([`FaultPlan::is_identity`]) are routed onto the exact
+    /// fault-free code path, so their reports are bit-identical to
+    /// [`AsyncSimulator::run`] under the same seed and the seam costs the
+    /// benign path nothing. Non-identity plans run the fault-instrumented
+    /// loop: the delay wheel widens to the plan's effective delay bound,
+    /// every sent message is routed through the plan's drop / duplication /
+    /// delay / reordering laws (all randomness from `rng`, in a fixed
+    /// per-message order), and scheduled crashes take nodes out of the
+    /// execution (discarding their arrivals) until their recovery, if any.
+    ///
+    /// Faulty runs are deterministic given `(config, plan, seed)` and
+    /// bit-identical between this executor and the full-scan oracle
+    /// [`crate::reference::NaiveAsyncSimulator::run_with_faults`].
+    pub fn run_with_faults<A, F, R>(
+        &self,
+        config: AsyncConfig,
+        plan: &FaultPlan,
+        rng: &mut R,
+        make: F,
+    ) -> AsyncReport
+    where
+        A: NodeAlgorithm,
+        F: FnMut(NodeInit<'_>) -> A,
+        R: Rng + ?Sized,
+    {
+        if plan.is_identity() {
+            self.run_inner::<A, F, R, false>(config, plan, rng, make)
+        } else {
+            self.run_inner::<A, F, R, true>(config, plan, rng, make)
+        }
+    }
+
+    /// The delay-wheel loop, monomorphised over fault injection: with
+    /// `FAULTS = false` every fault branch is statically removed and the
+    /// body is exactly the historical fault-free loop (the identity
+    /// regression and the `sim_engine` zero-fault gate both pin this down).
+    fn run_inner<A, F, R, const FAULTS: bool>(
+        &self,
+        config: AsyncConfig,
+        plan: &FaultPlan,
+        rng: &mut R,
+        mut make: F,
+    ) -> AsyncReport
+    where
+        A: NodeAlgorithm,
+        F: FnMut(NodeInit<'_>) -> A,
+        R: Rng + ?Sized,
+    {
         let n = self.graph.num_nodes();
-        let mut runtime = NodeRuntime::new(self.graph, self.ids, self.level, make);
+        let mut runtime = NodeRuntime::new(self.graph, self.ids, self.level, &mut make);
+        let mut session: Option<FaultSession<'_>> =
+            FAULTS.then(|| FaultSession::new(plan, n, &config));
 
         // pending[t % window][v] = messages arriving at node v at time t;
         // slot_nodes[t % window] = the v with pending[t % window][v]
         // non-empty (each listed once, unsorted until the slot fires).
-        let window = (config.max_delay + 1) as usize;
+        let window = match session.as_ref() {
+            Some(s) => s.window(),
+            None => (config.max_delay + 1) as usize,
+        };
         let mut pending: Vec<Vec<Vec<Message>>> = vec![vec![Vec::new(); n]; window];
         let mut slot_nodes: Vec<Vec<u32>> = vec![Vec::new(); window];
         let mut in_flight: u64 = 0;
@@ -174,20 +243,70 @@ impl<'g> AsyncSimulator<'g> {
         let mut activations: Vec<u64> = vec![0; n];
         let mut done = runtime.done_flags();
         let mut undone_count = done.iter().filter(|&&d| !d).count();
-        let mut outgoing: Vec<(NodeId, Message)> = Vec::new();
+        let mut outgoing: Vec<(NodeId, NodeId, Message)> = Vec::new();
+        let mut delays: Vec<u64> = Vec::new();
 
         loop {
-            if time > 0 && in_flight == 0 {
-                if undone_count == 0 {
-                    completed = true;
-                    break;
+            if FAULTS {
+                // Crash/recovery events scheduled at `time` apply before
+                // anything else this tick; recovered-with-reset nodes are
+                // rebuilt from the factory with a fresh round counter.
+                let s = session.as_mut().expect("fault session");
+                s.apply_events(time, |i, reset| {
+                    if reset {
+                        let now_done = runtime.reset_node(i, &mut make);
+                        activations[i] = 0;
+                        if now_done != done[i] {
+                            done[i] = now_done;
+                            if now_done {
+                                undone_count -= 1;
+                            } else {
+                                undone_count += 1;
+                            }
+                        }
+                    }
+                });
+            }
+            let quiet = in_flight == 0
+                && (!FAULTS
+                    || session
+                        .as_ref()
+                        .expect("fault session")
+                        .revived()
+                        .is_empty());
+            if time > 0 && quiet {
+                let next_event = if FAULTS {
+                    session.as_ref().expect("fault session").next_event_time()
+                } else {
+                    None
+                };
+                match next_event {
+                    Some(t) => {
+                        // Quiescent but the fault timeline isn't over: a
+                        // pending recovery may revive the execution. The
+                        // full-scan reference idle-ticks its way there;
+                        // jump straight to the event for an identical
+                        // report.
+                        time = t.min(config.max_time);
+                        if time >= config.max_time {
+                            break;
+                        }
+                        continue;
+                    }
+                    None => {
+                        if undone_count == 0 {
+                            completed = true;
+                        } else {
+                            // Nothing in flight and no node can activate
+                            // spontaneously: the execution is stuck forever.
+                            // The full-scan reference idle-ticks its way to
+                            // the limit; jump straight there for an
+                            // identical report.
+                            time = config.max_time;
+                        }
+                        break;
+                    }
                 }
-                // Nothing in flight and no node can activate spontaneously:
-                // the execution is stuck forever. The full-scan reference
-                // idle-ticks its way to the limit; jump straight there for
-                // an identical report.
-                time = config.max_time;
-                break;
             }
             if time >= config.max_time {
                 break;
@@ -195,14 +314,38 @@ impl<'g> AsyncSimulator<'g> {
 
             let slot = (time % window as u64) as usize;
             let mut acts = std::mem::take(&mut slot_nodes[slot]);
+            if FAULTS {
+                // Recovered nodes activate spontaneously this tick, merged
+                // with the slot's receivers (deduplicated — a node can be
+                // both).
+                let s = session.as_mut().expect("fault session");
+                acts.extend_from_slice(s.revived());
+                s.clear_revived();
+            }
             // Ascending node order matches the reference loop's 0..n scan.
             acts.sort_unstable();
+            if FAULTS {
+                acts.dedup();
+            }
             let mut activate =
                 |i: usize,
                  runtime: &mut NodeRuntime<'g, A>,
                  pending: &mut Vec<Vec<Vec<Message>>>,
-                 outgoing: &mut Vec<(NodeId, Message)>| {
+                 outgoing: &mut Vec<(NodeId, NodeId, Message)>,
+                 session: &mut Option<FaultSession<'_>>| {
                     let mut inbox = std::mem::take(&mut pending[slot][i]);
+                    if FAULTS {
+                        let s = session.as_mut().expect("fault session");
+                        if s.is_down(i) {
+                            // Arrivals at a down node are discarded.
+                            in_flight -= inbox.len() as u64;
+                            s.note_crash_dropped(inbox.len() as u64);
+                            inbox.clear();
+                            pending[slot][i] = inbox;
+                            return;
+                        }
+                        s.note_delivered(inbox.len() as u64);
+                    }
                     in_flight -= inbox.len() as u64;
                     let now_done = runtime.step(
                         i,
@@ -210,7 +353,7 @@ impl<'g> AsyncSimulator<'g> {
                         &inbox,
                         config.message_bit_limit,
                         &mut max_bits,
-                        &mut |_from, to, msg| outgoing.push((to, msg)),
+                        &mut |from, to, msg| outgoing.push((from, to, msg)),
                     );
                     activations[i] += 1;
                     if now_done != done[i] {
@@ -228,26 +371,55 @@ impl<'g> AsyncSimulator<'g> {
             if time == 0 {
                 // Time 0 activates every node for initialisation.
                 for i in 0..n {
-                    activate(i, &mut runtime, &mut pending, &mut outgoing);
+                    activate(i, &mut runtime, &mut pending, &mut outgoing, &mut session);
                 }
             } else {
                 for &iu in &acts {
-                    activate(iu as usize, &mut runtime, &mut pending, &mut outgoing);
+                    activate(
+                        iu as usize,
+                        &mut runtime,
+                        &mut pending,
+                        &mut outgoing,
+                        &mut session,
+                    );
                 }
             }
             acts.clear();
             slot_nodes[slot] = acts;
 
-            for (to, msg) in outgoing.drain(..) {
-                let delay = rng.gen_range(1..=config.max_delay);
-                let arrival = ((time + delay) % window as u64) as usize;
-                let bucket = &mut pending[arrival][to.index()];
-                if bucket.is_empty() {
-                    slot_nodes[arrival].push(to.0);
+            if FAULTS {
+                let s = session.as_mut().expect("fault session");
+                for (from, to, msg) in outgoing.drain(..) {
+                    // `messages` counts every copy put on the wire: the
+                    // original send (even if dropped in transit) plus any
+                    // duplicate.
+                    messages += 1;
+                    s.route(from, to, rng, &mut delays);
+                    if delays.len() > 1 {
+                        messages += delays.len() as u64 - 1;
+                    }
+                    for &d in &delays {
+                        let arrival = ((time + d) % window as u64) as usize;
+                        let bucket = &mut pending[arrival][to.index()];
+                        if bucket.is_empty() {
+                            slot_nodes[arrival].push(to.0);
+                        }
+                        bucket.push(msg);
+                        in_flight += 1;
+                    }
                 }
-                bucket.push(msg);
-                messages += 1;
-                in_flight += 1;
+            } else {
+                for (_from, to, msg) in outgoing.drain(..) {
+                    let delay = rng.gen_range(1..=config.max_delay);
+                    let arrival = ((time + delay) % window as u64) as usize;
+                    let bucket = &mut pending[arrival][to.index()];
+                    if bucket.is_empty() {
+                        slot_nodes[arrival].push(to.0);
+                    }
+                    bucket.push(msg);
+                    messages += 1;
+                    in_flight += 1;
+                }
             }
             time += 1;
         }
@@ -258,6 +430,10 @@ impl<'g> AsyncSimulator<'g> {
             messages,
             max_message_bits: max_bits,
             outputs: runtime.outputs(),
+            faults: match session {
+                Some(s) => s.stats,
+                None => FaultStats::default(),
+            },
         }
     }
 }
@@ -274,6 +450,18 @@ mod tests {
     fn synchronizer_overhead_formula() {
         assert_eq!(alpha_synchronizer_overhead(0, 10), 20);
         assert_eq!(alpha_synchronizer_overhead(9, 100), 2000);
+    }
+
+    #[test]
+    fn synchronizer_overhead_saturates_instead_of_wrapping() {
+        // 2(T + 1)m′ overflows u64 for large synthetic inputs; the policy
+        // is to clamp at u64::MAX (a conservative ceiling) rather than wrap
+        // to a small, misleadingly cheap number.
+        assert_eq!(alpha_synchronizer_overhead(u64::MAX, 10), u64::MAX);
+        assert_eq!(alpha_synchronizer_overhead(10, u64::MAX), u64::MAX);
+        assert_eq!(alpha_synchronizer_overhead(u64::MAX, u64::MAX), u64::MAX);
+        // A product just under the edge stays exact.
+        assert_eq!(alpha_synchronizer_overhead(0, u64::MAX / 2), u64::MAX - 1);
     }
 
     #[test]

@@ -60,7 +60,7 @@ use crate::{
 };
 
 /// The batched multi-execution simulator: like [`SyncSimulator`], plus a
-/// lane count. See the [module docs](self) for the execution model.
+/// lane count. See the module docs for the execution model.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchSimulator<'g> {
     graph: &'g Graph,

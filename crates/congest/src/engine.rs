@@ -194,6 +194,22 @@ impl<'g, A: NodeAlgorithm> NodeRuntime<'g, A> {
         }
     }
 
+    /// Rebuilds node `i`'s automaton from the factory, as if the node had
+    /// just been created (crash-with-state-reset recovery in the faulty
+    /// asynchronous executor). Returns the fresh automaton's done flag.
+    pub(crate) fn reset_node<F>(&mut self, i: usize, make: &mut F) -> bool
+    where
+        F: FnMut(NodeInit<'_>) -> A,
+    {
+        let v = NodeId(i as u32);
+        self.nodes[i] = make(NodeInit {
+            node: v,
+            num_nodes: self.nodes.len(),
+            knowledge: KnowledgeView::new(self.graph, self.ids, self.level, v),
+        });
+        self.nodes[i].is_done()
+    }
+
     /// Current done flag of every automaton (used to seed the skip list).
     pub(crate) fn done_flags(&self) -> Vec<bool> {
         self.nodes.iter().map(NodeAlgorithm::is_done).collect()

@@ -63,7 +63,9 @@ pub mod async_sim;
 mod batch;
 mod engine;
 mod error;
+pub mod faults;
 mod knowledge;
+pub mod lockstep;
 mod message;
 mod metrics;
 mod model;
@@ -76,7 +78,12 @@ pub mod trace_store;
 pub use batch::BatchSimulator;
 pub use engine::{NoopObserver, RoundObserver};
 pub use error::SimError;
+pub use faults::{
+    fault_seed_from_env, scenario_enabled, CrashFault, DelayLaw, EdgeProb, FaultPlan, FaultStats,
+    Recovery, FAULT_SCENARIOS_ENV, FAULT_SEED_ENV,
+};
 pub use knowledge::KnowledgeView;
+pub use lockstep::{run_synchronized, Synchronized};
 pub use message::{Message, MAX_ID_FIELDS, MAX_VALUE_FIELDS};
 pub use metrics::{CostAccount, PhaseCost};
 pub use model::KtLevel;

@@ -1,0 +1,446 @@
+//! Lockstep execution of synchronous automata on the asynchronous executor —
+//! the executable counterpart of the α-synchronizer (Theorem A.5).
+//!
+//! The paper's asynchronous results (Theorem 3.4) are obtained by running
+//! the synchronous algorithms under Awerbuch's α-synchronizer: every node
+//! acknowledges each round to its neighbours, and a node starts round `k`
+//! only once all neighbours confirmed round `k − 1`. [`Synchronized`] wraps
+//! any [`NodeAlgorithm`] in exactly that protocol so it can run unchanged on
+//! [`AsyncSimulator`] — including under a [`FaultPlan`]:
+//!
+//! * after executing inner round `k`, a node sends its round-`k` payload
+//!   messages (wrapped with the sender's ID and a `(round, seq)` marker) and
+//!   then one **pulse** per neighbour carrying the payload count;
+//! * inner round `k` runs only when every neighbour's round-`k − 1` pulse
+//!   arrived *and* all announced payloads were received;
+//! * payloads are de-duplicated per `(sender, round)` by sequence-number
+//!   bitmask, so message **duplication and reordering are harmless**;
+//! * message **loss or a crash stalls the wheel** — safety is preserved (no
+//!   node ever runs a round on partial inboxes), only liveness is lost,
+//!   which the fault-matrix suite asserts as `completed == false`.
+//!
+//! On a benign (or delay-only, or duplicate/reorder) schedule the inner
+//! execution is **bit-identical to the synchronous run**: each inner round
+//! sees the same inbox in the same order (neighbour address ascending, send
+//! order within a neighbour) with the same local round number, so all
+//! per-node randomness is drawn on the same schedule. Pulse overhead is
+//! exactly `(R − 1) · 2m` messages for an `R`-round run on `m` edges, within
+//! the `2(T + 1)·m′` budget of
+//! [`crate::async_sim::alpha_synchronizer_overhead`].
+//!
+//! The wrapper needs KT-1 knowledge (pulses are matched to neighbour slots
+//! by sender ID) and message room for the wrapping: a pulse is 208 bits and
+//! a wrapped payload adds one ID plus one value field to the inner message,
+//! so configure [`AsyncConfig::message_bit_limit`] accordingly (384 covers
+//! every algorithm in this repository).
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use symbreak_graphs::NodeId;
+
+use crate::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
+use crate::faults::FaultPlan;
+use crate::{Message, NodeAlgorithm, NodeInit, RoundContext};
+
+/// Reserved tag of synchronizer pulse messages. Inner algorithms must not
+/// use it (asserted when wrapping payloads).
+pub const PULSE_TAG: u16 = u16::MAX;
+
+/// Per-(neighbour, round) receive state.
+#[derive(Debug, Default)]
+struct SlotRound {
+    /// Payload count announced by the neighbour's pulse, once it arrived.
+    expected: Option<u64>,
+    /// Bitmask of payload sequence numbers received (de-duplication).
+    seq_mask: u64,
+    /// Received payloads, `(seq, unwrapped message)`.
+    msgs: Vec<(u64, Message)>,
+}
+
+impl SlotRound {
+    fn ready(&self) -> bool {
+        self.expected
+            .is_some_and(|c| u64::from(self.seq_mask.count_ones()) >= c)
+    }
+}
+
+/// An α-synchronizer shell around a synchronous [`NodeAlgorithm`], running
+/// it for a fixed number of inner rounds on the asynchronous executor. See
+/// the [module docs](self) for the protocol; construct per node with
+/// [`Synchronized::new`] or run a whole network with [`run_synchronized`].
+pub struct Synchronized<A> {
+    inner: A,
+    own_id: u64,
+    total_rounds: u64,
+    /// Next inner round to execute; `total_rounds` once finished.
+    round: u64,
+    /// Neighbour addresses, ascending (slot order).
+    neighbors: Vec<NodeId>,
+    /// `(neighbour ID, slot)` sorted by ID, for pulse/payload attribution.
+    slot_by_id: Vec<(u64, usize)>,
+    /// Per-slot inner-round receive buffers.
+    bufs: Vec<BTreeMap<u64, SlotRound>>,
+}
+
+impl<A: NodeAlgorithm> Synchronized<A> {
+    /// Wraps `inner` to run for exactly `total_rounds` synchronous rounds
+    /// (take a synchronous [`crate::ExecutionReport::rounds`] for a faithful
+    /// replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_rounds` is 0 or the knowledge level is KT-0 (the
+    /// synchronizer needs neighbour IDs to attribute pulses).
+    pub fn new(inner: A, init: NodeInit<'_>, total_rounds: u64) -> Self {
+        assert!(
+            total_rounds > 0,
+            "a synchronized run needs at least 1 round"
+        );
+        let mut neighbors: Vec<NodeId> = init.knowledge.neighbors();
+        neighbors.sort_unstable();
+        let mut slot_by_id: Vec<(u64, usize)> = init
+            .knowledge
+            .neighbor_ids()
+            .into_iter()
+            .map(|(v, id)| {
+                let slot = neighbors
+                    .binary_search(&v)
+                    .expect("neighbor_ids returned a non-neighbour");
+                (id, slot)
+            })
+            .collect();
+        slot_by_id.sort_unstable();
+        let bufs = (0..neighbors.len()).map(|_| BTreeMap::new()).collect();
+        Synchronized {
+            inner,
+            own_id: init.knowledge.own_id(),
+            total_rounds,
+            round: 0,
+            neighbors,
+            slot_by_id,
+            bufs,
+        }
+    }
+
+    /// The wrapped automaton (its outputs are also forwarded by
+    /// [`NodeAlgorithm::output`]).
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// How many inner rounds have been executed so far.
+    pub fn rounds_executed(&self) -> u64 {
+        self.round
+    }
+
+    fn slot_of(&self, sender_id: u64) -> usize {
+        let at = self
+            .slot_by_id
+            .binary_search_by_key(&sender_id, |&(id, _)| id)
+            .expect("synchronizer message from an unknown sender ID");
+        self.slot_by_id[at].1
+    }
+
+    /// Executes inner round `k` against `inbox` (already in synchronous
+    /// delivery order), sending wrapped payloads and pulses through `ctx`
+    /// unless `k` is the final round.
+    fn exec_round(&mut self, ctx: &mut RoundContext<'_>, k: u64, inbox: &[Message]) {
+        // Mirror the engine's fast path: a done inner node with an empty
+        // inbox is not invoked after round 0 (keeps RNG schedules aligned
+        // with the synchronous executor).
+        let skip = k > 0 && inbox.is_empty() && self.inner.is_done();
+        let outbox = if skip {
+            Vec::new()
+        } else {
+            let mut ictx = RoundContext::new(ctx.node(), k, *ctx.knowledge(), &self.neighbors);
+            self.inner.on_round(&mut ictx, inbox);
+            ictx.take_outbox()
+        };
+        self.round = k + 1;
+        if self.round >= self.total_rounds {
+            // Nothing runs round `total_rounds`; pulses or payloads sent now
+            // could never be consumed and would keep the run in flight
+            // forever. A faithful replay sends nothing in its final round
+            // anyway (the synchronous run terminated quiescent).
+            return;
+        }
+        let mut counts = vec![0u64; self.neighbors.len()];
+        for (to, msg) in outbox {
+            let slot = self
+                .neighbors
+                .binary_search(&to)
+                .expect("inner algorithm sent to a non-neighbour");
+            let seq = counts[slot];
+            counts[slot] += 1;
+            assert!(
+                seq < 64,
+                "lockstep wrapper supports at most 64 messages per neighbour per round"
+            );
+            assert!(
+                msg.tag() != PULSE_TAG,
+                "inner algorithm used the reserved synchronizer pulse tag"
+            );
+            ctx.send(to, msg.with_id(self.own_id).with_value((k << 8) | seq));
+        }
+        for (slot, &to) in self.neighbors.iter().enumerate() {
+            ctx.send(
+                to,
+                Message::tagged(PULSE_TAG)
+                    .with_id(self.own_id)
+                    .with_value(k)
+                    .with_value(counts[slot]),
+            );
+        }
+    }
+}
+
+impl<A: NodeAlgorithm> NodeAlgorithm for Synchronized<A> {
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        // Absorb incoming synchronizer traffic into the per-slot buffers.
+        for msg in inbox {
+            if msg.tag() == PULSE_TAG {
+                let sender = *msg.ids().last().expect("pulse without sender ID");
+                let round = msg.values()[0];
+                let count = msg.values()[1];
+                if round + 1 < self.round {
+                    continue; // stale (late duplicate of a consumed round)
+                }
+                let slot = self.slot_of(sender);
+                let entry = self.bufs[slot].entry(round).or_default();
+                if entry.expected.is_none() {
+                    entry.expected = Some(count);
+                }
+            } else {
+                let sender = *msg.ids().last().expect("payload without sender ID");
+                let marker = *msg.values().last().expect("payload without round marker");
+                let (round, seq) = (marker >> 8, marker & 0xff);
+                if round + 1 < self.round {
+                    continue;
+                }
+                let slot = self.slot_of(sender);
+                let entry = self.bufs[slot].entry(round).or_default();
+                if entry.seq_mask & (1 << seq) == 0 {
+                    entry.seq_mask |= 1 << seq;
+                    // Rebuild the inner message without the wrapper fields.
+                    let ids = msg.ids();
+                    let values = msg.values();
+                    let mut unwrapped = Message::tagged(msg.tag());
+                    for &id in &ids[..ids.len() - 1] {
+                        unwrapped = unwrapped.with_id(id);
+                    }
+                    for &v in &values[..values.len() - 1] {
+                        unwrapped = unwrapped.with_value(v);
+                    }
+                    entry.msgs.push((seq, unwrapped));
+                }
+            }
+        }
+
+        // Execute every inner round whose requirements are now met. Round 0
+        // has none (it fires on the time-0 initialisation activation).
+        loop {
+            let k = self.round;
+            if k >= self.total_rounds {
+                break;
+            }
+            if k > 0 {
+                let prev = k - 1;
+                let all_ready = self
+                    .bufs
+                    .iter()
+                    .all(|b| b.get(&prev).is_some_and(SlotRound::ready));
+                if !all_ready {
+                    break;
+                }
+            }
+            let mut round_inbox: Vec<Message> = Vec::new();
+            if k > 0 {
+                // Slot order is neighbour-address order and seq order is
+                // send order, which together reproduce the synchronous
+                // executor's delivery order exactly.
+                for buf in &mut self.bufs {
+                    if let Some(mut entry) = buf.remove(&(k - 1)) {
+                        entry.msgs.sort_unstable_by_key(|&(seq, _)| seq);
+                        round_inbox.extend(entry.msgs.into_iter().map(|(_, m)| m));
+                    }
+                }
+            }
+            self.exec_round(ctx, k, &round_inbox);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.round >= self.total_rounds
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.inner.output()
+    }
+}
+
+/// Runs a synchronous node algorithm on the asynchronous executor under a
+/// fault plan, by wrapping every node in [`Synchronized`] for
+/// `total_rounds` inner rounds.
+///
+/// Pass the round count of a synchronous run of the same algorithm
+/// ([`crate::ExecutionReport::rounds`]) to replay it: on benign,
+/// delay-only and duplicate/reorder schedules the reported outputs are
+/// identical to the synchronous outputs; under loss or crashes the run
+/// stalls instead of producing unsafe outputs.
+pub fn run_synchronized<A, F, R>(
+    sim: &AsyncSimulator<'_>,
+    config: AsyncConfig,
+    plan: &FaultPlan,
+    total_rounds: u64,
+    rng: &mut R,
+    mut make: F,
+) -> AsyncReport
+where
+    A: NodeAlgorithm,
+    F: FnMut(NodeInit<'_>) -> A,
+    R: Rng + ?Sized,
+{
+    sim.run_with_faults(config, plan, rng, |init| {
+        Synchronized::new(make(init), init, total_rounds)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::EdgeProb;
+    use crate::{KtLevel, SyncConfig, SyncSimulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symbreak_graphs::{generators, IdAssignment};
+
+    /// Broadcasts the running maximum ID for `t_limit` rounds.
+    struct MaxFlood {
+        t_limit: u64,
+        max: u64,
+        done: bool,
+    }
+
+    impl NodeAlgorithm for MaxFlood {
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+            if ctx.round() == 0 {
+                self.max = ctx.own_id();
+            }
+            for m in inbox {
+                self.max = self.max.max(m.value().unwrap_or(0));
+            }
+            if ctx.round() < self.t_limit {
+                ctx.broadcast(&Message::tagged(1).with_value(self.max));
+            } else {
+                self.done = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+        fn output(&self) -> Option<u64> {
+            Some(self.max)
+        }
+    }
+
+    fn make_max(t_limit: u64) -> impl FnMut(NodeInit<'_>) -> MaxFlood {
+        move |_init| MaxFlood {
+            t_limit,
+            max: 0,
+            done: false,
+        }
+    }
+
+    fn config() -> AsyncConfig {
+        AsyncConfig {
+            message_bit_limit: 384,
+            max_time: 10_000,
+            ..AsyncConfig::default()
+        }
+    }
+
+    #[test]
+    fn benign_lockstep_replays_the_sync_run_exactly() {
+        let graph = generators::connected_gnp(20, 0.2, &mut StdRng::seed_from_u64(5));
+        let ids = IdAssignment::identity(20);
+        let sync = SyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let sync_report = sync.run(SyncConfig::default(), make_max(4));
+        assert!(sync_report.completed);
+        let rounds = sync_report.rounds;
+
+        let asim = AsyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let mut rng = StdRng::seed_from_u64(99);
+        let report = run_synchronized(
+            &asim,
+            config(),
+            &FaultPlan::default(),
+            rounds,
+            &mut rng,
+            make_max(4),
+        );
+        assert!(report.completed, "benign lockstep must terminate");
+        assert_eq!(report.outputs, sync_report.outputs);
+        // Pulse overhead is exactly (R - 1) · 2m on a benign schedule.
+        let two_m = 2 * graph.num_edges() as u64;
+        assert_eq!(report.messages, sync_report.messages + (rounds - 1) * two_m);
+    }
+
+    #[test]
+    fn duplication_is_deduplicated_by_seq_masks() {
+        let graph = generators::cycle(12);
+        let ids = IdAssignment::identity(12);
+        let sync = SyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let sync_report = sync.run(SyncConfig::default(), make_max(3));
+        let asim = AsyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let plan = FaultPlan::default()
+            .with_duplicate(EdgeProb::uniform(1.0))
+            .with_reorder(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = run_synchronized(
+            &asim,
+            config(),
+            &plan,
+            sync_report.rounds,
+            &mut rng,
+            make_max(3),
+        );
+        assert!(report.completed);
+        assert_eq!(report.outputs, sync_report.outputs);
+        assert!(report.faults.duplicated > 0);
+    }
+
+    #[test]
+    fn total_loss_stalls_without_unsafe_output() {
+        let graph = generators::cycle(8);
+        let ids = IdAssignment::identity(8);
+        let asim = AsyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let plan = FaultPlan::default().with_drop(EdgeProb::uniform(1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = AsyncConfig {
+            max_time: 500,
+            ..config()
+        };
+        let report = run_synchronized(&asim, cfg, &plan, 4, &mut rng, make_max(3));
+        assert!(!report.completed, "lossy lockstep must stall, not lie");
+        assert_eq!(report.time, 500);
+        assert!(report.faults.dropped > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 round")]
+    fn zero_round_wrapper_rejected() {
+        let graph = generators::cycle(4);
+        let ids = IdAssignment::identity(4);
+        let asim = AsyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let mut rng = StdRng::seed_from_u64(0);
+        run_synchronized(
+            &asim,
+            config(),
+            &FaultPlan::default(),
+            0,
+            &mut rng,
+            make_max(1),
+        );
+    }
+}

@@ -20,6 +20,7 @@ use rand::Rng;
 use symbreak_graphs::NodeId;
 
 use crate::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
+use crate::faults::{FaultPlan, FaultSession, FaultStats};
 use crate::sync::mark_utilized;
 use crate::trace::{Trace, TraceMessage};
 use crate::{
@@ -262,6 +263,151 @@ impl<'g> NaiveAsyncSimulator<'g> {
             messages,
             max_message_bits: max_bits,
             outputs: nodes.iter().map(NodeAlgorithm::output).collect(),
+            faults: FaultStats::default(),
+        }
+    }
+
+    /// Runs exactly like [`AsyncSimulator::run_with_faults`], using the
+    /// historical full-scan implementation: every time unit visits all `n`
+    /// nodes and idle-ticks through quiescent stretches instead of jumping
+    /// to the next crash/recovery event. Under the same seed and plan it
+    /// must produce a bit-identical [`AsyncReport`] — including the order
+    /// of every drop / duplication / delay / jitter draw — which is what
+    /// validates the slot wheel's event-jump logic differentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`AsyncSimulator::run_with_faults`].
+    pub fn run_with_faults<A, F, R>(
+        &self,
+        config: AsyncConfig,
+        plan: &FaultPlan,
+        rng: &mut R,
+        mut make: F,
+    ) -> AsyncReport
+    where
+        A: NodeAlgorithm,
+        F: FnMut(NodeInit<'_>) -> A,
+        R: Rng + ?Sized,
+    {
+        if plan.is_identity() {
+            // Mirror the wheel's identity dispatch: an identity plan runs the
+            // fault-free loop with zero fault bookkeeping.
+            return self.run(config, rng, make);
+        }
+        let graph = self.sim.graph();
+        let ids = self.sim.ids();
+        let level = self.sim.level();
+        let n = graph.num_nodes();
+        let neighbor_lists: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| graph.neighbor_vec(NodeId(i as u32)))
+            .collect();
+        let mut nodes: Vec<A> = (0..n)
+            .map(|i| {
+                let v = NodeId(i as u32);
+                make(NodeInit {
+                    node: v,
+                    num_nodes: n,
+                    knowledge: KnowledgeView::new(graph, ids, level, v),
+                })
+            })
+            .collect();
+        let mut session = FaultSession::new(plan, n, &config);
+
+        let window = session.window();
+        let mut pending: Vec<Vec<Vec<Message>>> = vec![vec![Vec::new(); n]; window];
+        let mut in_flight: u64 = 0;
+        let mut messages: u64 = 0;
+        let mut max_bits: u32 = 0;
+        let mut time: u64 = 0;
+        let mut completed = false;
+        let mut activations: Vec<u64> = vec![0; n];
+        let mut delays: Vec<u64> = Vec::new();
+
+        loop {
+            session.apply_events(time, |i, reset| {
+                if reset {
+                    let v = NodeId(i as u32);
+                    nodes[i] = make(NodeInit {
+                        node: v,
+                        num_nodes: n,
+                        knowledge: KnowledgeView::new(graph, ids, level, v),
+                    });
+                    activations[i] = 0;
+                }
+            });
+            if time > 0
+                && in_flight == 0
+                && session.revived().is_empty()
+                && session.next_event_time().is_none()
+                && nodes.iter().all(NodeAlgorithm::is_done)
+            {
+                completed = true;
+                break;
+            }
+            if time >= config.max_time {
+                break;
+            }
+
+            let slot = (time % window as u64) as usize;
+            let mut outgoing: Vec<(NodeId, NodeId, Message)> = Vec::new();
+            for i in 0..n {
+                let inbox = std::mem::take(&mut pending[slot][i]);
+                if session.is_down(i) {
+                    // Arrivals at a down node are discarded.
+                    if !inbox.is_empty() {
+                        in_flight -= inbox.len() as u64;
+                        session.note_crash_dropped(inbox.len() as u64);
+                    }
+                    continue;
+                }
+                let revived = session.revived().binary_search(&(i as u32)).is_ok();
+                let activate = time == 0 || !inbox.is_empty() || revived;
+                if !activate {
+                    continue;
+                }
+                in_flight -= inbox.len() as u64;
+                session.note_delivered(inbox.len() as u64);
+                let v = NodeId(i as u32);
+                let knowledge = KnowledgeView::new(graph, ids, level, v);
+                let mut ctx = RoundContext::new(v, activations[i], knowledge, &neighbor_lists[i]);
+                nodes[i].on_round(&mut ctx, &inbox);
+                for (to, msg) in ctx.take_outbox() {
+                    let bits = msg.size_bits();
+                    assert!(
+                        bits <= config.message_bit_limit,
+                        "node {v} sent a {bits}-bit message, exceeding the CONGEST budget of {} bits",
+                        config.message_bit_limit
+                    );
+                    max_bits = max_bits.max(bits);
+                    outgoing.push((v, to, msg));
+                }
+                activations[i] += 1;
+            }
+            session.clear_revived();
+            for (from, to, msg) in outgoing {
+                messages += 1;
+                session.route(from, to, rng, &mut delays);
+                if delays.len() > 1 {
+                    messages += delays.len() as u64 - 1;
+                }
+                for &d in &delays {
+                    let arrival = ((time + d) % window as u64) as usize;
+                    pending[arrival][to.index()].push(msg);
+                    in_flight += 1;
+                }
+            }
+            time += 1;
+        }
+
+        AsyncReport {
+            completed,
+            time,
+            messages,
+            max_message_bits: max_bits,
+            outputs: nodes.iter().map(NodeAlgorithm::output).collect(),
+            faults: session.stats,
         }
     }
 }

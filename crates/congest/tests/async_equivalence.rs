@@ -8,7 +8,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use symbreak_congest::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
 use symbreak_congest::reference::NaiveAsyncSimulator;
-use symbreak_congest::{KtLevel, Message, NodeAlgorithm, RoundContext};
+use symbreak_congest::{
+    CrashFault, DelayLaw, EdgeProb, FaultPlan, KtLevel, Message, NodeAlgorithm, Recovery,
+    RoundContext,
+};
 use symbreak_graphs::{generators, Graph, IdAssignment, NodeId};
 
 /// Asynchronous flooding: forward the token the first time it arrives.
@@ -74,6 +77,7 @@ fn assert_async_identical(wheel: &AsyncReport, naive: &AsyncReport, label: &str)
         "{label}: max_message_bits"
     );
     assert_eq!(wheel.outputs, naive.outputs, "{label}: outputs");
+    assert_eq!(wheel.faults, naive.faults, "{label}: fault stats");
 }
 
 fn check_graph(graph: &Graph, label: &str) {
@@ -158,4 +162,194 @@ fn wheel_matches_full_scan_when_stuck_or_truncated() {
     let slow = naive.run(tiny, &mut StdRng::seed_from_u64(2), |_| Echo { budget: 50 });
     assert_async_identical(&wheel, &slow, "echo-truncated");
     assert!(!wheel.completed);
+}
+
+/// FNV-1a over the per-node outputs (None ↦ 0, Some(x) ↦ x + 1) — a compact
+/// fingerprint for the golden-value regressions below.
+fn output_digest(outputs: &[Option<u64>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for o in outputs {
+        h ^= o.map(|x| x + 1).unwrap_or(0);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Golden-value regression: the fault-free executor must keep producing the
+/// exact schedules it produced before the fault layer existed. The constants
+/// below were captured from the pre-fault-layer HEAD; if this test fails,
+/// the `FAULTS = false` monomorphization changed observable behaviour.
+#[test]
+fn identity_plans_preserve_prefault_schedules() {
+    let gnp = generators::connected_gnp(24, 0.15, &mut StdRng::seed_from_u64(11));
+    let ids = IdAssignment::identity(24);
+    let sim = AsyncSimulator::new(&gnp, &ids, KtLevel::KT1);
+
+    let report = sim.run(
+        AsyncConfig::default(),
+        &mut StdRng::seed_from_u64(42),
+        |_| Flood { have: false },
+    );
+    assert!(report.completed);
+    assert_eq!(report.time, 17);
+    assert_eq!(report.messages, 106);
+    assert_eq!(report.max_message_bits, 16);
+    assert_eq!(output_digest(&report.outputs), 0xd0f3_e3ad_2246_b925);
+
+    let report = sim.run(
+        AsyncConfig::default(),
+        &mut StdRng::seed_from_u64(43),
+        |_| Echo { budget: 4 },
+    );
+    assert!(report.completed);
+    assert_eq!(report.time, 11);
+    assert_eq!(report.messages, 424);
+    assert_eq!(report.max_message_bits, 80);
+    assert_eq!(output_digest(&report.outputs), 0x43b1_03a3_07f3_ee9d);
+
+    let cycle = generators::cycle(17);
+    let ids = IdAssignment::identity(17);
+    let sim = AsyncSimulator::new(&cycle, &ids, KtLevel::KT1);
+    let config = AsyncConfig {
+        max_delay: 3,
+        ..AsyncConfig::default()
+    };
+    let report = sim.run(config, &mut StdRng::seed_from_u64(7), |_| Flood {
+        have: false,
+    });
+    assert!(report.completed);
+    assert_eq!(report.time, 20);
+    assert_eq!(report.messages, 34);
+    assert_eq!(report.max_message_bits, 16);
+    assert_eq!(output_digest(&report.outputs), 0x80c2_1354_e980_e745);
+}
+
+/// `run_with_faults` with an identity plan must be bit-identical to `run` —
+/// the identity dispatch routes to the same `FAULTS = false` machine, so
+/// the fault seam costs nothing in behaviour.
+#[test]
+fn identity_fault_plan_is_bit_identical_to_fault_free_run() {
+    let graph = generators::connected_gnp(30, 0.12, &mut StdRng::seed_from_u64(3));
+    let ids = IdAssignment::identity(30);
+    let sim = AsyncSimulator::new(&graph, &ids, KtLevel::KT1);
+    let plan = FaultPlan::default();
+    assert!(plan.is_identity());
+    for seed in 0..8u64 {
+        let plain = sim.run(
+            AsyncConfig::default(),
+            &mut StdRng::seed_from_u64(seed),
+            |_| Echo { budget: 3 },
+        );
+        let faulted = sim.run_with_faults(
+            AsyncConfig::default(),
+            &plan,
+            &mut StdRng::seed_from_u64(seed),
+            |_| Echo { budget: 3 },
+        );
+        assert_async_identical(&plain, &faulted, &format!("identity-plan seed {seed}"));
+    }
+}
+
+fn fault_plans(graph: &Graph) -> Vec<(&'static str, FaultPlan)> {
+    let (_, u, v) = graph.edges().next().expect("graphs have edges");
+    let crash = graph
+        .nodes()
+        .max_by_key(|&w| graph.degree(w))
+        .expect("non-empty");
+    vec![
+        (
+            "uniform-delay",
+            FaultPlan::default().with_delay(DelayLaw::Uniform),
+        ),
+        (
+            "fixed-delay",
+            FaultPlan::default().with_delay(DelayLaw::Fixed(4)),
+        ),
+        (
+            "oblivious-delay",
+            FaultPlan::default().with_delay(DelayLaw::Oblivious { seed: 0xFACE }),
+        ),
+        (
+            "adaptive-delay",
+            FaultPlan::default().with_delay(DelayLaw::Adaptive),
+        ),
+        (
+            "loss",
+            FaultPlan::default().with_drop(EdgeProb::uniform(0.15).with_edge(u, v, 1.0)),
+        ),
+        (
+            "dup-reorder",
+            FaultPlan::default()
+                .with_duplicate(EdgeProb::uniform(0.4))
+                .with_reorder(0.4),
+        ),
+        (
+            "crash",
+            FaultPlan::default().with_crash(CrashFault {
+                node: crash,
+                at: 2,
+                recovery: None,
+            }),
+        ),
+        (
+            "crash-reset",
+            FaultPlan::default().with_crash(CrashFault {
+                node: crash,
+                at: 2,
+                recovery: Some((12, Recovery::Reset)),
+            }),
+        ),
+        (
+            "crash-retain",
+            FaultPlan::default().with_crash(CrashFault {
+                node: crash,
+                at: 3,
+                recovery: Some((9, Recovery::Retain)),
+            }),
+        ),
+    ]
+}
+
+/// The faulty wheel and the faulty full-scan reference must agree on every
+/// fault class: same RNG decision sequence, same delivery schedule, same
+/// crash/recovery handling — and the wheel's time-jumping through quiet
+/// stretches must be unobservable.
+#[test]
+fn faulty_wheel_matches_faulty_full_scan() {
+    for (glabel, graph) in [
+        (
+            "gnp",
+            generators::connected_gnp(26, 0.14, &mut StdRng::seed_from_u64(17)),
+        ),
+        ("cycle", generators::cycle(13)),
+        ("star", generators::star(10)),
+    ] {
+        let ids = IdAssignment::identity(graph.num_nodes());
+        let sim = AsyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let naive = NaiveAsyncSimulator::new(sim);
+        let config = AsyncConfig {
+            max_time: 400,
+            ..AsyncConfig::default()
+        };
+        for (flabel, plan) in fault_plans(&graph) {
+            for seed in 0..4u64 {
+                let label = format!("{glabel}/{flabel} seed {seed}");
+                let wheel =
+                    sim.run_with_faults(config, &plan, &mut StdRng::seed_from_u64(seed), |_| {
+                        Echo { budget: 3 }
+                    });
+                let slow =
+                    naive.run_with_faults(config, &plan, &mut StdRng::seed_from_u64(seed), |_| {
+                        Echo { budget: 3 }
+                    });
+                assert_async_identical(&wheel, &slow, &label);
+                // Same seed, same plan → the whole faulty run reproduces.
+                let again =
+                    sim.run_with_faults(config, &plan, &mut StdRng::seed_from_u64(seed), |_| {
+                        Echo { budget: 3 }
+                    });
+                assert_eq!(wheel, again, "{label}: determinism");
+            }
+        }
+    }
 }

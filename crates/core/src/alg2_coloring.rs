@@ -13,9 +13,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use symbreak_congest::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
 use symbreak_congest::{
-    BatchSimulator, CostAccount, ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext,
-    SyncConfig, SyncSimulator,
+    run_synchronized, BatchSimulator, CostAccount, ExecutionReport, FaultPlan, KtLevel, Message,
+    NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
 };
 use symbreak_danner::{ops, setup};
 use symbreak_graphs::{properties, Graph, IdAssignment, NodeId};
@@ -360,6 +361,55 @@ fn run_phases_config(
             (colors, report)
         }
     }
+}
+
+/// Runs the Algorithm 2 colouring phases on the **asynchronous** executor
+/// under a fault plan, via the α-synchronizer lockstep wrapper
+/// ([`symbreak_congest::Synchronized`]).
+///
+/// The synchronous (nested-pipeline) run executes first to fix the
+/// lockstep round budget and as ground truth; the returned triple is
+/// `(synchronous colours, synchronous report, asynchronous report)`. All
+/// per-node randomness comes from `shared`, so the asynchronous replay
+/// consumes identical hash schedules: on benign, delay-only and
+/// duplicate/reorder fault schedules its outputs equal the synchronous
+/// colours, while loss or crashes stall the run (`completed == false`)
+/// instead of emitting a conflicting colouring.
+#[allow(clippy::too_many_arguments)]
+pub fn run_phases_async<R: Rng + ?Sized>(
+    graph: &Graph,
+    ids: &IdAssignment,
+    shared: &SharedRandomness,
+    palette_size: u64,
+    max_phases: usize,
+    async_config: AsyncConfig,
+    fault_plan: &FaultPlan,
+    rng: &mut R,
+) -> (Vec<Option<u64>>, ExecutionReport, AsyncReport) {
+    let (colors, sync_report) = run_phases_nested(graph, ids, shared, palette_size, max_phases);
+    let n = graph.num_nodes();
+    let independence = tail::log_n_independence(n);
+    let sim = AsyncSimulator::new(graph, ids, KtLevel::KT1);
+    let report = run_synchronized(
+        &sim,
+        async_config,
+        fault_plan,
+        sync_report.rounds,
+        rng,
+        |init| Alg2Node {
+            own_id: init.knowledge.own_id(),
+            color: None,
+            neighbor_ids: init.knowledge.neighbor_ids(),
+            shared: shared.clone(),
+            palette_size,
+            independence,
+            hashes: Vec::new(),
+            phase: 0,
+            max_phases,
+            candidate: None,
+        },
+    );
+    (colors, sync_report, report)
 }
 
 /// [`run_phases`], batched: lane `k` runs the colour-trial phases with

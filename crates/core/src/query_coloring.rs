@@ -25,8 +25,10 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use symbreak_congest::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
 use symbreak_congest::{
-    ExecutionReport, KtLevel, Message, NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
+    run_synchronized, ExecutionReport, FaultPlan, KtLevel, Message, NodeAlgorithm, NodeInit,
+    RoundContext, SyncConfig, SyncSimulator,
 };
 use symbreak_graphs::{Graph, IdAssignment, NodeId};
 
@@ -449,29 +451,68 @@ pub fn run_stage_on(
     assert_eq!(spec.palettes.len(), n);
     assert_eq!(spec.active.len(), n);
     assert_eq!(spec.existing_colors.len(), n);
-    let mut report = sim.run(config, |init| {
-        let i = init.node.index();
-        StageNode {
-            participating: spec.participating[i],
-            own_id: init.knowledge.own_id(),
-            me: init.node,
-            color: spec.existing_colors[i],
-            palette: spec.palettes[i].clone(),
-            known_taken: BTreeSet::new(),
-            active: spec.active[i].clone(),
-            active_set: spec.active[i].iter().copied().collect(),
-            plan: Arc::clone(&spec.plan),
-            phase_limit: spec.phase_limit.max(1),
-            failed_phases: 0,
-            gave_up: false,
-            candidate: None,
-            conflict: false,
-            rng: StdRng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642fu64.wrapping_mul(i as u64 + 1)),
-        }
-    });
+    let mut report = sim.run(config, |init| stage_node(spec, seed, init));
     assert!(report.completed, "coloring stage did not quiesce");
     let colors = std::mem::take(&mut report.outputs);
     (colors, report)
+}
+
+/// Builds one stage automaton — shared by the synchronous entry points and
+/// the asynchronous lockstep replay so both run identical node state and
+/// RNG schedules.
+fn stage_node(spec: &StageSpec, seed: u64, init: NodeInit<'_>) -> StageNode {
+    let i = init.node.index();
+    StageNode {
+        participating: spec.participating[i],
+        own_id: init.knowledge.own_id(),
+        me: init.node,
+        color: spec.existing_colors[i],
+        palette: spec.palettes[i].clone(),
+        known_taken: BTreeSet::new(),
+        active: spec.active[i].clone(),
+        active_set: spec.active[i].iter().copied().collect(),
+        plan: Arc::clone(&spec.plan),
+        phase_limit: spec.phase_limit.max(1),
+        failed_phases: 0,
+        gave_up: false,
+        candidate: None,
+        conflict: false,
+        rng: StdRng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642fu64.wrapping_mul(i as u64 + 1)),
+    }
+}
+
+/// Runs one coloring stage on the **asynchronous** executor under a fault
+/// plan, via the α-synchronizer lockstep wrapper
+/// ([`symbreak_congest::Synchronized`]).
+///
+/// The synchronous stage runs first to fix the lockstep round budget (and
+/// as ground truth); the returned triple is `(synchronous colours,
+/// synchronous report, asynchronous report)`. On benign, delay-only and
+/// duplicate/reorder schedules the asynchronous outputs equal the
+/// synchronous colours; loss or crashes stall the run (`completed ==
+/// false`) instead of emitting a conflicting colouring.
+#[allow(clippy::too_many_arguments)]
+pub fn run_stage_async<R: Rng + ?Sized>(
+    graph: &Graph,
+    ids: &IdAssignment,
+    spec: &StageSpec,
+    seed: u64,
+    sync_config: SyncConfig,
+    async_config: AsyncConfig,
+    fault_plan: &FaultPlan,
+    rng: &mut R,
+) -> (Vec<Option<u64>>, ExecutionReport, AsyncReport) {
+    let (colors, sync_report) = run_stage(graph, ids, spec, seed, sync_config);
+    let sim = AsyncSimulator::new(graph, ids, KtLevel::KT1);
+    let report = run_synchronized(
+        &sim,
+        async_config,
+        fault_plan,
+        sync_report.rounds,
+        rng,
+        |init| stage_node(spec, seed, init),
+    );
+    (colors, sync_report, report)
 }
 
 #[cfg(test)]

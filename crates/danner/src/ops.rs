@@ -148,7 +148,7 @@ pub fn broadcast_words(
 /// rather than payload bits. All `B` lanes therefore share one metered trace
 /// — the simulator runs once (for lane 0) and the remaining lanes' reports
 /// are derived exactly: everything but `outputs` is lane-invariant, and every
-/// node's output is the [`words_digest`] of the lane's full payload.
+/// node's output is the `words_digest` of the lane's full payload.
 ///
 /// # Panics
 ///
@@ -257,7 +257,7 @@ pub fn convergecast_sum(
 /// (a node fires once its child count is met, regardless of the partial
 /// sums), so one metered trace serves all lanes: the simulator runs once and
 /// the other lanes' reports are derived exactly. A node's output is its
-/// wrapping subtree sum, which [`subtree_sums`] recomputes locally.
+/// wrapping subtree sum, which `subtree_sums` recomputes locally.
 ///
 /// # Panics
 ///

@@ -235,6 +235,88 @@ pub fn power_law<R: Rng + ?Sized>(n: usize, attach: usize, rng: &mut R) -> Graph
     b.build()
 }
 
+/// Stochastic block model (planted communities): nodes are split into
+/// `communities` contiguous, near-equal blocks; a pair inside one block is
+/// an edge with probability `p_in`, a cross-block pair with probability
+/// `p_out`. With `p_in ≫ p_out` this produces the community-structured
+/// topologies where faults on the sparse inter-community cut are most
+/// damaging — the scenario shape the fault matrix runs alongside
+/// small-world and power-law graphs.
+///
+/// # Panics
+///
+/// Panics unless `communities ≥ 1` and both probabilities lie in `[0, 1]`.
+pub fn stochastic_block<R: Rng + ?Sized>(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Graph {
+    assert!(communities >= 1, "need at least one community");
+    assert!(
+        (0.0..=1.0).contains(&p_in),
+        "probability p_in={p_in} out of range"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p_out),
+        "probability p_out={p_out} out of range"
+    );
+    let block = |i: usize| i * communities / n.max(1);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = if block(i) == block(j) { p_in } else { p_out };
+            if p >= 1.0 || (p > 0.0 && rng.gen_bool(p)) {
+                b.add_edge(NodeId(i as u32), NodeId(j as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where every node links
+/// to its `k` nearest clockwise neighbours (degree `2k` before rewiring),
+/// then each lattice edge is rewired with probability `rewire_p` to a
+/// uniformly random non-self endpoint. Low `rewire_p` keeps the high
+/// clustering of the lattice while adding the long-range shortcuts that
+/// collapse the diameter — the topology where a single adversarially slow
+/// or lossy shortcut edge has outsized effect.
+///
+/// Rewired edges that collide with an existing edge are dropped (the graph
+/// stays simple), so the edge count can be slightly below `n·k`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k` and `2k < n` and `rewire_p ∈ [0, 1]`.
+pub fn small_world<R: Rng + ?Sized>(n: usize, k: usize, rewire_p: f64, rng: &mut R) -> Graph {
+    assert!(k >= 1, "each node needs at least one lattice neighbour");
+    assert!(2 * k < n, "lattice degree 2k={} must be below n={n}", 2 * k);
+    assert!(
+        (0.0..=1.0).contains(&rewire_p),
+        "probability rewire_p={rewire_p} out of range"
+    );
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in 1..=k {
+            let u = i as u32;
+            let lattice = ((i + j) % n) as u32;
+            let target = if rewire_p > 0.0 && rng.gen_bool(rewire_p) {
+                // Uniform over the n - 1 non-self nodes.
+                let mut t = rng.gen_range(0..n as u32 - 1);
+                if t >= u {
+                    t += 1;
+                }
+                t
+            } else {
+                lattice
+            };
+            b.add_edge(NodeId(u), NodeId(target));
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,5 +451,70 @@ mod tests {
                 assert!(properties::is_connected(&g));
             }
         }
+    }
+
+    #[test]
+    fn stochastic_block_concentrates_edges_inside_communities() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 60;
+        let communities = 3;
+        let g = stochastic_block(n, communities, 0.6, 0.02, &mut rng);
+        assert_eq!(g.num_nodes(), n);
+        let block = |i: usize| i * communities / n;
+        let (mut within, mut across) = (0usize, 0usize);
+        for (_, u, v) in g.edges() {
+            if block(u.index()) == block(v.index()) {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        // Within-pairs are ~half of all pairs but carry 30× the probability.
+        assert!(within > 5 * across, "within={within} across={across}");
+    }
+
+    #[test]
+    fn stochastic_block_extremes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // p_in = 1, p_out = 0: disjoint cliques.
+        let g = stochastic_block(12, 3, 1.0, 0.0, &mut rng);
+        let (_, count) = properties::connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(g.num_edges(), 3 * (4 * 3 / 2));
+    }
+
+    #[test]
+    fn small_world_without_rewiring_is_the_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = small_world(20, 3, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 20 * 3);
+        for v in 0..20 {
+            assert_eq!(g.degree(NodeId(v)), 6);
+        }
+        assert!(properties::is_connected(&g));
+    }
+
+    #[test]
+    fn small_world_rewiring_shrinks_the_diameter() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lattice = small_world(120, 2, 0.0, &mut rng);
+        let rewired = small_world(120, 2, 0.3, &mut rng);
+        assert_eq!(rewired.num_nodes(), 120);
+        // Rewiring drops colliding edges but only a few.
+        assert!(rewired.num_edges() > 120 * 2 - 20);
+        let d_lat = properties::diameter(&lattice).unwrap();
+        if let Some(d_sw) = properties::diameter(&rewired) {
+            assert!(
+                d_sw < d_lat,
+                "shortcuts should shrink the diameter ({d_sw} vs {d_lat})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below n")]
+    fn small_world_rejects_dense_lattice() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = small_world(6, 3, 0.1, &mut rng);
     }
 }
