@@ -110,8 +110,9 @@ pub mod parallel_greedy {
     use rand::Rng;
     use symbreak_congest::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
     use symbreak_congest::{
-        run_synchronized, BatchSimulator, ExecutionReport, FaultPlan, KtLevel, Message,
-        NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
+        run_synchronized, BatchSimulator, CheckpointConfig, ExecutionReport, FaultPlan, KtLevel,
+        Message, NodeAlgorithm, NodeInit, NoopObserver, PersistState, RoundContext, RoundObserver,
+        SyncConfig, SyncSimulator,
     };
     use symbreak_graphs::{AdjacencyArena, Graph, IdAssignment, NodeId};
 
@@ -183,6 +184,132 @@ pub mod parallel_greedy {
                 State::Undecided => None,
             }
         }
+    }
+
+    impl<L: AsRef<[NodeId]>> PersistState for Node<L> {
+        fn encode_state(&self, out: &mut Vec<u64>) {
+            // Rank and active list are factory-derived; only the decision
+            // state distinguishes this node from a factory-fresh one.
+            out.push(match self.state {
+                State::Undecided => 0,
+                State::In => 1,
+                State::Out => 2,
+                State::NotParticipating => 3,
+            });
+        }
+
+        fn decode_state(&mut self, words: &[u64]) -> bool {
+            let &[disc] = words else { return false };
+            self.state = match disc {
+                0 => State::Undecided,
+                1 => State::In,
+                2 => State::Out,
+                3 => State::NotParticipating,
+                _ => return false,
+            };
+            true
+        }
+    }
+
+    /// The deterministic whole-graph factory shared by the checkpointed
+    /// entry points: every node participates and talks to all neighbours.
+    fn whole_graph_factory<'a>(
+        graph: &Graph,
+        ranks: &'a [u64],
+    ) -> impl FnMut(NodeInit<'_>) -> Node<Vec<NodeId>> + 'a {
+        let active: Vec<Vec<NodeId>> = graph.nodes().map(|v| graph.neighbor_vec(v)).collect();
+        move |init| {
+            let i = init.node.index();
+            Node {
+                state: State::Undecided,
+                rank: ranks[i],
+                active: active[i].clone(),
+            }
+        }
+    }
+
+    /// Runs whole-graph parallel greedy MIS through the checkpointed loop
+    /// ([`SyncSimulator::run_checkpointed`]), snapshotting every
+    /// `checkpoint.every` rounds. Unlike [`run_on_whole_graph`], the report
+    /// is returned even when the round budget ran out (`completed ==
+    /// false`) — that is the "killed" half of a kill-and-resume cycle.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the checkpoint log.
+    pub fn run_checkpointed(
+        graph: &Graph,
+        ids: &IdAssignment,
+        ranks: &[u64],
+        config: SyncConfig,
+        checkpoint: &CheckpointConfig,
+    ) -> std::io::Result<ExecutionReport> {
+        run_checkpointed_observed(graph, ids, ranks, config, checkpoint, &mut NoopObserver)
+    }
+
+    /// [`run_checkpointed`] with a [`RoundObserver`] (e.g. a trace
+    /// recorder) attached.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the checkpoint log.
+    pub fn run_checkpointed_observed<O: RoundObserver>(
+        graph: &Graph,
+        ids: &IdAssignment,
+        ranks: &[u64],
+        config: SyncConfig,
+        checkpoint: &CheckpointConfig,
+        observer: &mut O,
+    ) -> std::io::Result<ExecutionReport> {
+        assert_eq!(ranks.len(), graph.num_nodes());
+        let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+        sim.run_checkpointed_observed(
+            config,
+            checkpoint,
+            whole_graph_factory(graph, ranks),
+            observer,
+        )
+    }
+
+    /// Resumes an interrupted [`run_checkpointed`] run from the latest
+    /// valid checkpoint ([`SyncSimulator::resume_from`]); the completed
+    /// resumed run is bit-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncSimulator::resume_from`].
+    pub fn resume(
+        graph: &Graph,
+        ids: &IdAssignment,
+        ranks: &[u64],
+        config: SyncConfig,
+        checkpoint: &CheckpointConfig,
+    ) -> std::io::Result<ExecutionReport> {
+        resume_observed(graph, ids, ranks, config, checkpoint, &mut NoopObserver)
+    }
+
+    /// [`resume`] with a [`RoundObserver`] attached (pair with a recovered
+    /// trace recorder to continue an interrupted recording).
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncSimulator::resume_from`].
+    pub fn resume_observed<O: RoundObserver>(
+        graph: &Graph,
+        ids: &IdAssignment,
+        ranks: &[u64],
+        config: SyncConfig,
+        checkpoint: &CheckpointConfig,
+        observer: &mut O,
+    ) -> std::io::Result<ExecutionReport> {
+        assert_eq!(ranks.len(), graph.num_nodes());
+        let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+        sim.resume_from_observed(
+            config,
+            checkpoint,
+            whole_graph_factory(graph, ranks),
+            observer,
+        )
     }
 
     /// Runs parallel greedy MIS over the participating nodes.
@@ -381,8 +508,9 @@ pub mod luby {
     use rand::{Rng, SeedableRng};
     use symbreak_congest::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
     use symbreak_congest::{
-        run_synchronized, BatchSimulator, ExecutionReport, FaultPlan, KtLevel, Message,
-        NodeAlgorithm, RoundContext, SyncConfig, SyncSimulator,
+        run_synchronized, BatchSimulator, CheckpointConfig, ExecutionReport, FaultPlan, KtLevel,
+        Message, NodeAlgorithm, NodeInit, NoopObserver, PersistState, RoundContext, RoundObserver,
+        SyncConfig, SyncSimulator,
     };
     use symbreak_graphs::{AdjacencyArena, Graph, IdAssignment, NodeId};
 
@@ -452,6 +580,145 @@ pub mod luby {
                 State::Undecided => None,
             }
         }
+    }
+
+    impl<L: AsRef<[NodeId]>> PersistState for Node<L> {
+        fn encode_state(&self, out: &mut Vec<u64>) {
+            // The RNG cursor is part of the state: a resumed node must
+            // continue the exact same draw stream.
+            out.push(match self.state {
+                State::Undecided => 0,
+                State::In => 1,
+                State::Out => 2,
+                State::NotParticipating => 3,
+            });
+            out.push(self.current);
+            out.extend_from_slice(&self.rng.state());
+        }
+
+        fn decode_state(&mut self, words: &[u64]) -> bool {
+            let &[disc, current, s0, s1, s2, s3] = words else {
+                return false;
+            };
+            self.state = match disc {
+                0 => State::Undecided,
+                1 => State::In,
+                2 => State::Out,
+                3 => State::NotParticipating,
+                _ => return false,
+            };
+            let s = [s0, s1, s2, s3];
+            if s == [0; 4] {
+                return false; // Not a reachable xoshiro256** state.
+            }
+            self.current = current;
+            self.rng = StdRng::from_state(s);
+            true
+        }
+    }
+
+    /// The deterministic whole-graph factory shared by the checkpointed
+    /// entry points (the [`run`] configuration: everyone participates).
+    fn whole_graph_factory(
+        graph: &Graph,
+        seed: u64,
+    ) -> impl FnMut(NodeInit<'_>) -> Node<Vec<NodeId>> {
+        let active: Vec<Vec<NodeId>> = graph.nodes().map(|v| graph.neighbor_vec(v)).collect();
+        move |init| {
+            let i = init.node.index();
+            Node {
+                state: State::Undecided,
+                rng: StdRng::seed_from_u64(
+                    seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)),
+                ),
+                current: 0,
+                active: active[i].clone(),
+            }
+        }
+    }
+
+    /// Runs whole-graph Luby through the checkpointed loop
+    /// ([`SyncSimulator::run_checkpointed`]), snapshotting every
+    /// `checkpoint.every` rounds — per-node RNG cursors included, so a
+    /// resumed run continues the exact same random streams. Unlike [`run`],
+    /// the report is returned even when the round budget ran out
+    /// (`completed == false`) — the "killed" half of a kill-and-resume
+    /// cycle.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the checkpoint log.
+    pub fn run_checkpointed(
+        graph: &Graph,
+        ids: &IdAssignment,
+        seed: u64,
+        config: SyncConfig,
+        checkpoint: &CheckpointConfig,
+    ) -> std::io::Result<ExecutionReport> {
+        run_checkpointed_observed(graph, ids, seed, config, checkpoint, &mut NoopObserver)
+    }
+
+    /// [`run_checkpointed`] with a [`RoundObserver`] (e.g. a trace
+    /// recorder) attached.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the checkpoint log.
+    pub fn run_checkpointed_observed<O: RoundObserver>(
+        graph: &Graph,
+        ids: &IdAssignment,
+        seed: u64,
+        config: SyncConfig,
+        checkpoint: &CheckpointConfig,
+        observer: &mut O,
+    ) -> std::io::Result<ExecutionReport> {
+        let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+        sim.run_checkpointed_observed(
+            config,
+            checkpoint,
+            whole_graph_factory(graph, seed),
+            observer,
+        )
+    }
+
+    /// Resumes an interrupted [`run_checkpointed`] run from the latest
+    /// valid checkpoint ([`SyncSimulator::resume_from`]); the completed
+    /// resumed run is bit-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncSimulator::resume_from`].
+    pub fn resume(
+        graph: &Graph,
+        ids: &IdAssignment,
+        seed: u64,
+        config: SyncConfig,
+        checkpoint: &CheckpointConfig,
+    ) -> std::io::Result<ExecutionReport> {
+        resume_observed(graph, ids, seed, config, checkpoint, &mut NoopObserver)
+    }
+
+    /// [`resume`] with a [`RoundObserver`] attached (pair with a recovered
+    /// trace recorder to continue an interrupted recording).
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncSimulator::resume_from`].
+    pub fn resume_observed<O: RoundObserver>(
+        graph: &Graph,
+        ids: &IdAssignment,
+        seed: u64,
+        config: SyncConfig,
+        checkpoint: &CheckpointConfig,
+        observer: &mut O,
+    ) -> std::io::Result<ExecutionReport> {
+        let sim = SyncSimulator::new(graph, ids, KtLevel::KT1);
+        sim.resume_from_observed(
+            config,
+            checkpoint,
+            whole_graph_factory(graph, seed),
+            observer,
+        )
     }
 
     /// Runs Luby's algorithm restricted to the nodes with
@@ -798,6 +1065,28 @@ mod tests {
         let ids = IdAssignment::identity(5);
         let (mis, _) = luby::run(&g, &ids, 3, SyncConfig::default());
         assert_eq!(mis, vec![true; 5]);
+    }
+
+    #[test]
+    fn luby_kill_and_resume_matches_uninterrupted_run() {
+        use symbreak_congest::CheckpointConfig;
+        let mut rng = StdRng::seed_from_u64(55);
+        let g = generators::connected_gnp(30, 0.15, &mut rng);
+        let ids = IdAssignment::identity(30);
+        let (mis, baseline) = luby::run(&g, &ids, 9, SyncConfig::default());
+        let dir = std::env::temp_dir().join(format!("sbck-mis-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = CheckpointConfig::new(dir.join("luby.sbck")).with_every(2);
+        // Kill after the first boundary, then resume: Luby's per-node RNG
+        // cursors must continue the exact same draw streams.
+        let partial =
+            luby::run_checkpointed(&g, &ids, 9, SyncConfig::default().with_max_rounds(2), &ckpt)
+                .unwrap();
+        assert!(!partial.completed);
+        let resumed = luby::resume(&g, &ids, 9, SyncConfig::default(), &ckpt).unwrap();
+        assert_eq!(resumed, baseline);
+        assert_eq!(verify::outputs_to_membership(&resumed.outputs), mis);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

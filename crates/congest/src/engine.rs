@@ -210,6 +210,27 @@ impl<'g, A: NodeAlgorithm> NodeRuntime<'g, A> {
         self.nodes[i].is_done()
     }
 
+    /// Shared access to node `i`'s automaton (state encoding at a
+    /// checkpoint boundary; see [`crate::checkpoint`]).
+    #[inline]
+    pub(crate) fn node_ref(&self, i: usize) -> &A {
+        &self.nodes[i]
+    }
+
+    /// Number of automata (full-state checkpoint boundaries; see
+    /// [`crate::checkpoint`]).
+    #[inline]
+    pub(crate) fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Mutable access to node `i`'s automaton (state restoration when
+    /// resuming from a checkpoint; see [`crate::checkpoint`]).
+    #[inline]
+    pub(crate) fn node_mut(&mut self, i: usize) -> &mut A {
+        &mut self.nodes[i]
+    }
+
     /// Current done flag of every automaton (used to seed the skip list).
     pub(crate) fn done_flags(&self) -> Vec<bool> {
         self.nodes.iter().map(NodeAlgorithm::is_done).collect()

@@ -336,6 +336,12 @@ pub struct FaultStats {
     pub crashes: u64,
     /// Recovery events applied.
     pub recoveries: u64,
+    /// `REJOIN` pulses broadcast by recovering synchronizer nodes
+    /// ([`crate::lockstep::Synchronized`]); zero outside lockstep runs.
+    pub rejoin_pulses: u64,
+    /// Retained message copies re-sent by neighbours in response to a
+    /// `REJOIN` pulse; zero outside lockstep runs.
+    pub replayed: u64,
 }
 
 /// splitmix64 — the per-edge hash behind the oblivious delay laws.

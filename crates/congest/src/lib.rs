@@ -61,6 +61,7 @@
 
 pub mod async_sim;
 mod batch;
+pub mod checkpoint;
 mod engine;
 mod error;
 pub mod faults;
@@ -76,6 +77,10 @@ pub mod trace;
 pub mod trace_store;
 
 pub use batch::BatchSimulator;
+pub use checkpoint::{
+    CheckpointChain, CheckpointConfig, CheckpointRecord, PersistState, CHECKPOINT_DIR_ENV,
+    CHECKPOINT_EVERY_ENV,
+};
 pub use engine::{NoopObserver, RoundObserver};
 pub use error::SimError;
 pub use faults::{
@@ -83,7 +88,10 @@ pub use faults::{
     Recovery, FAULT_SCENARIOS_ENV, FAULT_SEED_ENV,
 };
 pub use knowledge::KnowledgeView;
-pub use lockstep::{run_synchronized, Synchronized};
+pub use lockstep::{
+    run_synchronized, run_synchronized_recovering, RejoinLedger, Synchronized,
+    DEFAULT_REPLAY_DEPTH, PULSE_TAG,
+};
 pub use message::{Message, MAX_ID_FIELDS, MAX_VALUE_FIELDS};
 pub use metrics::{CostAccount, PhaseCost};
 pub use model::KtLevel;

@@ -15,9 +15,41 @@
 //!   arrived *and* all announced payloads were received;
 //! * payloads are de-duplicated per `(sender, round)` by sequence-number
 //!   bitmask, so message **duplication and reordering are harmless**;
-//! * message **loss or a crash stalls the wheel** — safety is preserved (no
-//!   node ever runs a round on partial inboxes), only liveness is lost,
-//!   which the fault-matrix suite asserts as `completed == false`.
+//! * message **loss stalls the wheel** — safety is preserved (no node ever
+//!   runs a round on partial inboxes), only liveness is lost, which the
+//!   fault-matrix suite asserts as `completed == false`;
+//! * a **crash with recovery re-joins** instead of stalling: every node
+//!   retains its last [`Synchronized::with_replay_depth`] rounds of sent
+//!   traffic in a bounded replay buffer, a recovering node broadcasts a
+//!   `REJOIN` pulse naming the round it needs, and neighbours re-send the
+//!   retained copies — all idempotent under the existing de-duplication, so
+//!   the run completes with outputs bit-identical to the synchronous run.
+//!
+//! # Crash recovery
+//!
+//! A mid-run activation with an **empty inbox** is how the executors
+//! deliver a crash revival (every other mid-run activation carries at least
+//! one message), so [`Synchronized`] treats it as the re-join trigger: the
+//! node broadcasts one `REJOIN` pulse per neighbour (a [`PULSE_TAG`]
+//! message whose count field is the reserved sentinel `u64::MAX`) carrying
+//! the first inner round it may have lost. Each neighbour answers from its
+//! replay buffer with the retained pulses and wrapped payloads of every
+//! buffered round at or after the requested one. [`Recovery::Retain`]
+//! revivals need only [`DEFAULT_REPLAY_DEPTH`] rounds of retention (the
+//! synchronizer keeps neighbours within one round of each other);
+//! [`Recovery::Reset`] revivals restart the automaton much further back, so
+//! [`run_synchronized_recovering`] re-seats them at the nearest engine
+//! checkpoint ([`crate::checkpoint`]) and needs a replay depth covering the
+//! checkpoint-to-crash gap. Re-join traffic is tallied in
+//! [`FaultStats::rejoin_pulses`] / [`FaultStats::replayed`]. If a revival
+//! races a same-tick delivery the trigger is missed and the run stalls —
+//! safety is never at risk, the fault matrix still observes
+//! `completed == false`.
+//!
+//! [`Recovery::Retain`]: crate::faults::Recovery::Retain
+//! [`Recovery::Reset`]: crate::faults::Recovery::Reset
+//! [`FaultStats::rejoin_pulses`]: crate::faults::FaultStats::rejoin_pulses
+//! [`FaultStats::replayed`]: crate::faults::FaultStats::replayed
 //!
 //! On a benign (or delay-only, or duplicate/reorder) schedule the inner
 //! execution is **bit-identical to the synchronous run**: each inner round
@@ -34,18 +66,80 @@
 //! so configure [`AsyncConfig::message_bit_limit`] accordingly (384 covers
 //! every algorithm in this repository).
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
 
 use rand::Rng;
 use symbreak_graphs::NodeId;
 
 use crate::async_sim::{AsyncConfig, AsyncReport, AsyncSimulator};
+use crate::checkpoint::{CheckpointChain, PersistState};
 use crate::faults::FaultPlan;
 use crate::{Message, NodeAlgorithm, NodeInit, RoundContext};
 
 /// Reserved tag of synchronizer pulse messages. Inner algorithms must not
 /// use it (asserted when wrapping payloads).
 pub const PULSE_TAG: u16 = u16::MAX;
+
+/// Reserved pulse count marking a `REJOIN` request. Unreachable by real
+/// pulses, whose counts are bounded by the 64-messages-per-round cap.
+const REJOIN_COUNT: u64 = u64::MAX;
+
+/// Default number of sent rounds each node retains for crash re-join. Two
+/// rounds suffice for [`Recovery::Retain`]: the synchronizer keeps
+/// neighbours within one inner round of each other, so everything a
+/// revived node can have lost is in its neighbours' last two sent rounds.
+///
+/// [`Recovery::Retain`]: crate::faults::Recovery::Retain
+pub const DEFAULT_REPLAY_DEPTH: usize = 2;
+
+/// Shared tally of re-join traffic across every node of a lockstep run.
+///
+/// [`run_synchronized`] and [`run_synchronized_recovering`] install one
+/// ledger into all their wrappers and fold it into
+/// [`FaultStats::rejoin_pulses`] / [`FaultStats::replayed`]; tests driving
+/// [`crate::async_sim::AsyncSimulator::run_with_faults`] directly can share
+/// their own via [`Synchronized::with_ledger`].
+///
+/// [`FaultStats::rejoin_pulses`]: crate::faults::FaultStats::rejoin_pulses
+/// [`FaultStats::replayed`]: crate::faults::FaultStats::replayed
+#[derive(Debug, Default)]
+pub struct RejoinLedger {
+    pulses: Cell<u64>,
+    replayed: Cell<u64>,
+    peak_buffered: Cell<u64>,
+}
+
+impl RejoinLedger {
+    /// `REJOIN` pulses broadcast by recovering nodes.
+    pub fn rejoin_pulses(&self) -> u64 {
+        self.pulses.get()
+    }
+
+    /// Retained copies (payloads and pulses) re-sent in response to a
+    /// `REJOIN`.
+    pub fn replayed(&self) -> u64 {
+        self.replayed.get()
+    }
+
+    /// The largest number of rounds any node's replay buffer held at once —
+    /// never exceeds the configured replay depth (the memory bound).
+    pub fn peak_buffered_rounds(&self) -> u64 {
+        self.peak_buffered.get()
+    }
+}
+
+/// One retained round of sent synchronizer traffic.
+#[derive(Debug)]
+struct ReplayRound {
+    /// Inner round the traffic belongs to.
+    round: u64,
+    /// Per-slot payload counts (the pulse contents).
+    counts: Vec<u64>,
+    /// Wrapped payload copies, `(slot, message)`, in send order.
+    payloads: Vec<(usize, Message)>,
+}
 
 /// Per-(neighbour, round) receive state.
 #[derive(Debug, Default)]
@@ -81,6 +175,12 @@ pub struct Synchronized<A> {
     slot_by_id: Vec<(u64, usize)>,
     /// Per-slot inner-round receive buffers.
     bufs: Vec<BTreeMap<u64, SlotRound>>,
+    /// How many sent rounds to retain for crash re-join.
+    replay_depth: usize,
+    /// The retained rounds, oldest first, at most `replay_depth` entries.
+    replay: VecDeque<ReplayRound>,
+    /// Re-join traffic tally, shared across the run's nodes.
+    ledger: Rc<RejoinLedger>,
 }
 
 impl<A: NodeAlgorithm> Synchronized<A> {
@@ -120,7 +220,37 @@ impl<A: NodeAlgorithm> Synchronized<A> {
             neighbors,
             slot_by_id,
             bufs,
+            replay_depth: DEFAULT_REPLAY_DEPTH,
+            replay: VecDeque::new(),
+            ledger: Rc::new(RejoinLedger::default()),
         }
+    }
+
+    /// Sets how many sent rounds this node retains for crash re-join
+    /// (default [`DEFAULT_REPLAY_DEPTH`]). [`Recovery::Retain`] revivals
+    /// need 2; checkpoint-reset revivals need the checkpoint-to-crash gap
+    /// plus one ([`run_synchronized_recovering`] sizes this from the
+    /// checkpoint cadence).
+    ///
+    /// [`Recovery::Retain`]: crate::faults::Recovery::Retain
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 — a node retaining nothing could never answer
+    /// a re-join.
+    pub fn with_replay_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "replay depth must retain at least one round");
+        self.replay_depth = depth;
+        self
+    }
+
+    /// Shares `ledger` as this node's re-join tally (each wrapper otherwise
+    /// counts into a private one). [`run_synchronized`] installs one ledger
+    /// across all nodes and folds it into the report's
+    /// [`crate::faults::FaultStats`].
+    pub fn with_ledger(mut self, ledger: Rc<RejoinLedger>) -> Self {
+        self.ledger = ledger;
+        self
     }
 
     /// The wrapped automaton (its outputs are also forwarded by
@@ -166,6 +296,7 @@ impl<A: NodeAlgorithm> Synchronized<A> {
             return;
         }
         let mut counts = vec![0u64; self.neighbors.len()];
+        let mut payloads: Vec<(usize, Message)> = Vec::with_capacity(outbox.len());
         for (to, msg) in outbox {
             let slot = self
                 .neighbors
@@ -181,7 +312,9 @@ impl<A: NodeAlgorithm> Synchronized<A> {
                 msg.tag() != PULSE_TAG,
                 "inner algorithm used the reserved synchronizer pulse tag"
             );
-            ctx.send(to, msg.with_id(self.own_id).with_value((k << 8) | seq));
+            let wrapped = msg.with_id(self.own_id).with_value((k << 8) | seq);
+            ctx.send(to, wrapped);
+            payloads.push((slot, wrapped));
         }
         for (slot, &to) in self.neighbors.iter().enumerate() {
             ctx.send(
@@ -192,17 +325,86 @@ impl<A: NodeAlgorithm> Synchronized<A> {
                     .with_value(counts[slot]),
             );
         }
+        // Retain this round for crash re-join, evicting the oldest beyond
+        // the replay depth (the bounded-memory guarantee).
+        self.replay.push_back(ReplayRound {
+            round: k,
+            counts,
+            payloads,
+        });
+        if self.replay.len() > self.replay_depth {
+            self.replay.pop_front();
+        }
+        let buffered = self.replay.len() as u64;
+        if buffered > self.ledger.peak_buffered.get() {
+            self.ledger.peak_buffered.set(buffered);
+        }
+    }
+
+    /// Answers a neighbour's `REJOIN(need)`: re-sends the retained pulses
+    /// and payloads of every buffered round at or after `need` to that
+    /// neighbour. Replays are copies of the originals, so the receiver's
+    /// seq-mask / expected-count de-duplication makes them idempotent (a
+    /// duplicated or reordered `REJOIN` is harmless too).
+    fn replay_to(&self, ctx: &mut RoundContext<'_>, sender_id: u64, need: u64) {
+        let slot = self.slot_of(sender_id);
+        let to = self.neighbors[slot];
+        let mut sent = 0u64;
+        for r in &self.replay {
+            if r.round < need {
+                continue;
+            }
+            for (s, m) in &r.payloads {
+                if *s == slot {
+                    ctx.send(to, *m);
+                    sent += 1;
+                }
+            }
+            ctx.send(
+                to,
+                Message::tagged(PULSE_TAG)
+                    .with_id(self.own_id)
+                    .with_value(r.round)
+                    .with_value(r.counts[slot]),
+            );
+            sent += 1;
+        }
+        self.ledger.replayed.set(self.ledger.replayed.get() + sent);
     }
 }
 
 impl<A: NodeAlgorithm> NodeAlgorithm for Synchronized<A> {
     fn on_round(&mut self, ctx: &mut RoundContext<'_>, inbox: &[Message]) {
+        if inbox.is_empty() && self.round > 0 && !self.is_done() {
+            // A mid-run activation without arrivals is a crash revival (the
+            // executors never otherwise activate a node spontaneously):
+            // everything this node can have lost while down is traffic for
+            // the round it is waiting on or later, so ask every neighbour
+            // to replay from there.
+            let need = self.round - 1;
+            for &to in &self.neighbors {
+                ctx.send(
+                    to,
+                    Message::tagged(PULSE_TAG)
+                        .with_id(self.own_id)
+                        .with_value(need)
+                        .with_value(REJOIN_COUNT),
+                );
+                self.ledger.pulses.set(self.ledger.pulses.get() + 1);
+            }
+            return;
+        }
         // Absorb incoming synchronizer traffic into the per-slot buffers.
         for msg in inbox {
             if msg.tag() == PULSE_TAG {
                 let sender = *msg.ids().last().expect("pulse without sender ID");
                 let round = msg.values()[0];
                 let count = msg.values()[1];
+                if count == REJOIN_COUNT {
+                    // A recovering neighbour asks for rounds >= `round`.
+                    self.replay_to(ctx, sender, round);
+                    continue;
+                }
                 if round + 1 < self.round {
                     continue; // stale (late duplicate of a consumed round)
                 }
@@ -286,8 +488,16 @@ impl<A: NodeAlgorithm> NodeAlgorithm for Synchronized<A> {
 /// Pass the round count of a synchronous run of the same algorithm
 /// ([`crate::ExecutionReport::rounds`]) to replay it: on benign,
 /// delay-only and duplicate/reorder schedules the reported outputs are
-/// identical to the synchronous outputs; under loss or crashes the run
-/// stalls instead of producing unsafe outputs.
+/// identical to the synchronous outputs; crashes with
+/// [`Recovery::Retain`] re-join through the replay protocol (see the
+/// [module docs](self)) and still complete bit-identically; under loss or
+/// unrecovered crashes the run stalls instead of producing unsafe outputs.
+///
+/// Re-join traffic is reported in the returned
+/// [`AsyncReport::faults`](crate::async_sim::AsyncReport)
+/// (`rejoin_pulses` / `replayed`).
+///
+/// [`Recovery::Retain`]: crate::faults::Recovery::Retain
 pub fn run_synchronized<A, F, R>(
     sim: &AsyncSimulator<'_>,
     config: AsyncConfig,
@@ -301,15 +511,82 @@ where
     F: FnMut(NodeInit<'_>) -> A,
     R: Rng + ?Sized,
 {
-    sim.run_with_faults(config, plan, rng, |init| {
-        Synchronized::new(make(init), init, total_rounds)
-    })
+    let ledger = Rc::new(RejoinLedger::default());
+    let mut report = sim.run_with_faults(config, plan, rng, |init| {
+        Synchronized::new(make(init), init, total_rounds).with_ledger(Rc::clone(&ledger))
+    });
+    report.faults.rejoin_pulses = ledger.rejoin_pulses();
+    report.faults.replayed = ledger.replayed();
+    report
+}
+
+/// Like [`run_synchronized`], additionally re-seating
+/// [`Recovery::Reset`](crate::faults::Recovery::Reset) revivals at the
+/// nearest engine checkpoint so they re-join instead of stalling.
+///
+/// The asynchronous executor rebuilds a reset node through the factory;
+/// this wrapper then restores the rebuilt automaton from `chain` at the
+/// boundary `resume_round` (e.g. [`CheckpointChain::at_or_before`] of the
+/// crash round, from a [`crate::SyncSimulator::run_checkpointed`] log of
+/// the same algorithm) via [`PersistState::decode_state`] and re-seats the
+/// synchronizer shell at that inner round. The revival then broadcasts a
+/// `REJOIN` for `resume_round - 1`, so `replay_depth` must cover the gap
+/// from there to the most advanced neighbour — the checkpoint cadence plus
+/// two is always enough. When `chain` has no state for a node or decoding
+/// fails, that node restarts factory-fresh at round 0 and the run stalls
+/// safely instead of producing wrong outputs.
+///
+/// For outputs bit-identical to the synchronous run, the automaton's
+/// [`PersistState`] encoding must capture *all* volatile state, including
+/// RNG cursors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_synchronized_recovering<A, F, R>(
+    sim: &AsyncSimulator<'_>,
+    config: AsyncConfig,
+    plan: &FaultPlan,
+    total_rounds: u64,
+    rng: &mut R,
+    mut make: F,
+    chain: &CheckpointChain,
+    resume_round: u64,
+    replay_depth: usize,
+) -> AsyncReport
+where
+    A: PersistState,
+    F: FnMut(NodeInit<'_>) -> A,
+    R: Rng + ?Sized,
+{
+    let ledger = Rc::new(RejoinLedger::default());
+    let mut seen = vec![false; sim.graph().num_nodes()];
+    let mut report = sim.run_with_faults(config, plan, rng, |init| {
+        let i = init.node.index();
+        // A second factory call for the same node is a reset revival.
+        let rebirth = std::mem::replace(&mut seen[i], true);
+        let mut inner = make(init);
+        let mut resume_at = 0;
+        if rebirth {
+            if let Some(words) = chain.state_of(i as u32, resume_round) {
+                if inner.decode_state(words) {
+                    resume_at = resume_round.min(total_rounds);
+                }
+            }
+        }
+        let mut node = Synchronized::new(inner, init, total_rounds)
+            .with_replay_depth(replay_depth)
+            .with_ledger(Rc::clone(&ledger));
+        node.round = resume_at;
+        node
+    });
+    report.faults.rejoin_pulses = ledger.rejoin_pulses();
+    report.faults.replayed = ledger.replayed();
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::faults::EdgeProb;
+    use crate::checkpoint::CheckpointConfig;
+    use crate::faults::{CrashFault, DelayLaw, EdgeProb, Recovery};
     use crate::{KtLevel, SyncConfig, SyncSimulator};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -341,6 +618,23 @@ mod tests {
         }
         fn output(&self) -> Option<u64> {
             Some(self.max)
+        }
+    }
+
+    impl PersistState for MaxFlood {
+        fn encode_state(&self, out: &mut Vec<u64>) {
+            out.push(self.max);
+            out.push(u64::from(self.done));
+        }
+
+        fn decode_state(&mut self, words: &[u64]) -> bool {
+            let &[max, done] = words else { return false };
+            if done > 1 {
+                return false;
+            }
+            self.max = max;
+            self.done = done == 1;
+            true
         }
     }
 
@@ -425,6 +719,132 @@ mod tests {
         assert!(!report.completed, "lossy lockstep must stall, not lie");
         assert_eq!(report.time, 500);
         assert!(report.faults.dropped > 0);
+    }
+
+    #[test]
+    fn retain_crash_rejoins_and_completes_bit_identically() {
+        let graph = generators::cycle(12);
+        let ids = IdAssignment::identity(12);
+        let sync = SyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let sync_report = sync.run(SyncConfig::default(), make_max(8));
+        assert!(sync_report.completed);
+
+        // Crash mid-run (inner rounds advance at most one per time unit, so
+        // at t = 6 the node cannot have finished its 8+ rounds), revive long
+        // after the stall drains the wheel.
+        let asim = AsyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let plan = FaultPlan::default().with_crash(CrashFault {
+            node: NodeId(5),
+            at: 6,
+            recovery: Some((2_000, Recovery::Retain)),
+        });
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            run_synchronized(
+                &asim,
+                config(),
+                &plan,
+                sync_report.rounds,
+                &mut rng,
+                make_max(8),
+            )
+        };
+        let report = run();
+        assert!(report.completed, "a Retain crash must re-join, not stall");
+        assert_eq!(report.outputs, sync_report.outputs);
+        assert_eq!(report.faults.crashes, 1);
+        assert_eq!(report.faults.recoveries, 1);
+        assert!(
+            report.faults.crash_dropped > 0,
+            "the crash must actually lose traffic for re-join to matter"
+        );
+        // One REJOIN per neighbour (degree 2 on the cycle), answered with
+        // retained copies.
+        assert_eq!(report.faults.rejoin_pulses, 2);
+        assert!(report.faults.replayed > 0);
+        // The faulty schedule is deterministic given (config, plan, seed).
+        assert_eq!(run(), report);
+    }
+
+    #[test]
+    fn replay_buffers_stay_bounded_on_benign_schedules() {
+        let graph = generators::cycle(10);
+        let ids = IdAssignment::identity(10);
+        let sync = SyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let sync_report = sync.run(SyncConfig::default(), make_max(6));
+        let asim = AsyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let ledger = Rc::new(RejoinLedger::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut make = make_max(6);
+        // A fixed delay law is lossless but non-identity, exercising the
+        // fault-instrumented loop without any crash.
+        let plan = FaultPlan::default().with_delay(DelayLaw::Fixed(2));
+        let report = asim.run_with_faults(config(), &plan, &mut rng, |init| {
+            Synchronized::new(make(init), init, sync_report.rounds).with_ledger(Rc::clone(&ledger))
+        });
+        assert!(report.completed);
+        assert_eq!(report.outputs, sync_report.outputs);
+        // Every node retained traffic, but never more than the depth bound.
+        assert_eq!(ledger.peak_buffered_rounds(), DEFAULT_REPLAY_DEPTH as u64);
+        assert_eq!(ledger.rejoin_pulses(), 0);
+        assert_eq!(ledger.replayed(), 0);
+    }
+
+    #[test]
+    fn reset_crash_rejoins_from_the_nearest_checkpoint() {
+        let graph = generators::cycle(12);
+        let ids = IdAssignment::identity(12);
+        let sync = SyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let sync_report = sync.run(SyncConfig::default(), make_max(8));
+        assert!(sync_report.completed);
+
+        // Checkpoint a synchronous run of the same algorithm every 2 rounds.
+        let dir = std::env::temp_dir().join(format!("sb-lockstep-reset-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.sbck");
+        let ckpt = CheckpointConfig::new(&path).with_every(2);
+        let ck_report = sync
+            .run_checkpointed(SyncConfig::default(), &ckpt, make_max(8))
+            .unwrap();
+        assert_eq!(ck_report, sync_report);
+        let chain = CheckpointChain::load(&path).unwrap();
+
+        // Fixed 1-unit delays advance exactly one inner round per tick, so a
+        // crash at t = 5 catches node 3 with 5 rounds executed; the nearest
+        // boundary at or before that is round 4.
+        let resume = chain.at_or_before(5).unwrap().round;
+        assert_eq!(resume, 4);
+        let plan = FaultPlan::default()
+            .with_delay(DelayLaw::Fixed(1))
+            .with_crash(CrashFault {
+                node: NodeId(3),
+                at: 5,
+                recovery: Some((2_000, Recovery::Reset)),
+            });
+        let asim = AsyncSimulator::new(&graph, &ids, KtLevel::KT1);
+        let mut rng = StdRng::seed_from_u64(21);
+        let report = run_synchronized_recovering(
+            &asim,
+            config(),
+            &plan,
+            sync_report.rounds,
+            &mut rng,
+            make_max(8),
+            &chain,
+            resume,
+            4,
+        );
+        assert!(
+            report.completed,
+            "a Reset crash must re-join via the checkpoint"
+        );
+        assert_eq!(report.outputs, sync_report.outputs);
+        assert_eq!(report.faults.crashes, 1);
+        assert_eq!(report.faults.recoveries, 1);
+        assert_eq!(report.faults.rejoin_pulses, 2);
+        assert!(report.faults.replayed > 0);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
     }
 
     #[test]

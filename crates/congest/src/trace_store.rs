@@ -31,17 +31,31 @@
 //! [`MmapTraceObserver::create_temp`]. Readers validate magics and sizes
 //! and surface corruption as [`std::io::ErrorKind::InvalidData`].
 //!
-//! # File format
+//! # File format (version 2 — torn-write safe)
 //!
 //! ```text
-//! magic    b"SBTRACE1"
-//! records  num_messages × 52 bytes, little-endian, in send order:
+//! magic    b"SBTRACE2"
+//! records  (num_messages + num_rounds) × 56 bytes, little-endian, in send
+//!          order. A *message record* is
 //!          from u32 · to u32 · tag u16 · num_ids u8 · num_values u8
 //!          ids  MAX_ID_FIELDS × u64    (unused slots zero)
 //!          values MAX_VALUE_FIELDS × u64 (unused slots zero)
+//!          checksum u32                (FNV-1a over the 52 payload bytes)
+//!          Each completed round is followed by one *round marker* record
+//!          (same width): sentinel from = u32::MAX · round u64 ·
+//!          cumulative message count u64 · zeros · checksum u32.
 //! index    num_rounds × u64 — cumulative message count at each round end
-//! footer   num_rounds u64 · num_messages u64 · magic b"SBTRIDX1"
+//! footer   num_rounds u64 · num_messages u64 · magic b"SBTRIDX2"
 //! ```
+//!
+//! The per-record checksums and in-stream round markers make an *unsealed*
+//! file recoverable: [`MmapTraceObserver::recover`] scans the record
+//! stream, truncates the file to the last valid round boundary and returns
+//! an observer that appends from there, so an interrupted trace-recording
+//! run resumes instead of starting over ([`MmapTraceObserver::recover_to`]
+//! truncates to an exact round — the engine-checkpoint boundary — for
+//! [`crate::checkpoint`] resumes). Sealing fsyncs both the file and its
+//! parent directory before the [`StoredTrace`] is returned.
 //!
 //! # Example
 //!
@@ -89,14 +103,40 @@ use crate::Message;
 pub const TRACE_DIR_ENV: &str = "CONGEST_TRACE_DIR";
 
 /// Leading magic of a stored trace.
-const HEADER_MAGIC: &[u8; 8] = b"SBTRACE1";
+const HEADER_MAGIC: &[u8; 8] = b"SBTRACE2";
 /// Trailing magic, written after the round index by `finish`.
-const FOOTER_MAGIC: &[u8; 8] = b"SBTRIDX1";
+const FOOTER_MAGIC: &[u8; 8] = b"SBTRIDX2";
 /// Bytes of the fixed footer tail: round count, message count, magic.
 const FOOTER_TAIL: u64 = 8 + 8 + 8;
 
-/// Size of one encoded [`TraceMessage`] record.
-pub const RECORD_BYTES: usize = 4 + 4 + 2 + 1 + 1 + 8 * MAX_ID_FIELDS + 8 * MAX_VALUE_FIELDS;
+/// Bytes of the checksummed payload of a record (everything but the
+/// trailing checksum word).
+const PAYLOAD_BYTES: usize = 4 + 4 + 2 + 1 + 1 + 8 * MAX_ID_FIELDS + 8 * MAX_VALUE_FIELDS;
+
+/// Size of one encoded record ([`TraceMessage`] or round marker): the
+/// payload plus a u32 FNV-1a checksum.
+pub const RECORD_BYTES: usize = PAYLOAD_BYTES + 4;
+
+/// The `from` field of a round-marker record — a value no real node ever
+/// has (graphs are capped far below `u32::MAX` nodes).
+const MARKER_SENTINEL: u32 = u32::MAX;
+
+/// 64-bit FNV-1a — the running checksum shared by the trace records and
+/// the checkpoint log ([`crate::checkpoint`]).
+pub(crate) fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Folded 32-bit record checksum.
+fn checksum32(bytes: &[u8]) -> u32 {
+    let h = checksum64(bytes);
+    (h ^ (h >> 32)) as u32
+}
 
 /// The directory trace spill files default to: `CONGEST_TRACE_DIR` if set
 /// and non-empty, else the system temp dir.
@@ -111,8 +151,14 @@ fn corrupt(what: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.into())
 }
 
-/// Encodes one message record into `buf` (little-endian, fixed layout).
-fn encode_record(buf: &mut [u8; RECORD_BYTES], from: NodeId, to: NodeId, message: &Message) {
+/// Encodes one message record into `buf` (little-endian, fixed layout,
+/// trailing checksum).
+pub(crate) fn encode_record(
+    buf: &mut [u8; RECORD_BYTES],
+    from: NodeId,
+    to: NodeId,
+    message: &Message,
+) {
     let ids = message.ids();
     let values = message.values();
     buf[0..4].copy_from_slice(&from.0.to_le_bytes());
@@ -131,13 +177,54 @@ fn encode_record(buf: &mut [u8; RECORD_BYTES], from: NodeId, to: NodeId, message
         buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
         at += 8;
     }
+    let sum = checksum32(&buf[..PAYLOAD_BYTES]);
+    buf[PAYLOAD_BYTES..].copy_from_slice(&sum.to_le_bytes());
 }
 
-/// Decodes one record back into a [`TraceMessage`].
-fn decode_record(buf: &[u8; RECORD_BYTES]) -> io::Result<TraceMessage> {
+/// Encodes the round marker that follows round `round` (whose end brings
+/// the cumulative message count to `messages`).
+fn encode_marker(buf: &mut [u8; RECORD_BYTES], round: u64, messages: u64) {
+    buf.fill(0);
+    buf[0..4].copy_from_slice(&MARKER_SENTINEL.to_le_bytes());
+    buf[4..12].copy_from_slice(&round.to_le_bytes());
+    buf[12..20].copy_from_slice(&messages.to_le_bytes());
+    let sum = checksum32(&buf[..PAYLOAD_BYTES]);
+    buf[PAYLOAD_BYTES..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Decodes a round marker: `(round, cumulative message count)`.
+fn decode_marker(buf: &[u8; RECORD_BYTES]) -> io::Result<(u64, u64)> {
+    verify_checksum(buf)?;
+    if buf[0..4] != MARKER_SENTINEL.to_le_bytes() {
+        return Err(corrupt("message record where a round marker was expected"));
+    }
+    if buf[20..PAYLOAD_BYTES].iter().any(|&b| b != 0) {
+        return Err(corrupt("nonzero padding in a round marker"));
+    }
+    let round = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let messages = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+    Ok((round, messages))
+}
+
+/// Validates a record's trailing checksum.
+fn verify_checksum(buf: &[u8; RECORD_BYTES]) -> io::Result<()> {
+    let declared = u32::from_le_bytes(buf[PAYLOAD_BYTES..].try_into().unwrap());
+    if checksum32(&buf[..PAYLOAD_BYTES]) != declared {
+        return Err(corrupt("record checksum mismatch"));
+    }
+    Ok(())
+}
+
+/// Decodes one record back into a [`TraceMessage`], validating its
+/// checksum.
+pub(crate) fn decode_record(buf: &[u8; RECORD_BYTES]) -> io::Result<TraceMessage> {
+    verify_checksum(buf)?;
     let word = |at: usize| u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
     let from = NodeId(u32::from_le_bytes(buf[0..4].try_into().unwrap()));
     let to = NodeId(u32::from_le_bytes(buf[4..8].try_into().unwrap()));
+    if from.0 == MARKER_SENTINEL {
+        return Err(corrupt("round marker where a message record was expected"));
+    }
     let tag = u16::from_le_bytes(buf[8..10].try_into().unwrap());
     let (num_ids, num_values) = (buf[10] as usize, buf[11] as usize);
     if num_ids > MAX_ID_FIELDS || num_values > MAX_VALUE_FIELDS {
@@ -238,14 +325,20 @@ impl MmapTraceObserver {
         self.round_ends.len()
     }
 
-    /// Bytes the sealed file will occupy (header + records + index +
-    /// footer).
+    /// Bytes the sealed file will occupy (header + records + markers +
+    /// index + footer).
     pub fn stored_bytes(&self) -> u64 {
-        8 + self.messages * RECORD_BYTES as u64 + self.round_ends.len() as u64 * 8 + FOOTER_TAIL
+        8 + (self.messages + self.round_ends.len() as u64) * RECORD_BYTES as u64
+            + self.round_ends.len() as u64 * 8
+            + FOOTER_TAIL
     }
 
-    /// Seals the file — appends the round index and footer, flushes — and
-    /// reopens it as a [`StoredTrace`].
+    /// Seals the file — appends the round index and footer, flushes,
+    /// fsyncs the file **and its parent directory** — and reopens it as a
+    /// [`StoredTrace`]. The directory fsync makes the rename/creation of
+    /// the sealed file itself durable, not just its contents: without it a
+    /// crash shortly after sealing can lose the whole file even though
+    /// every byte was synced.
     ///
     /// # Errors
     ///
@@ -270,9 +363,137 @@ impl MmapTraceObserver {
         writer.write_all(&messages.to_le_bytes())?;
         writer.write_all(FOOTER_MAGIC)?;
         writer.flush()?;
+        writer.get_ref().sync_all()?;
         drop(writer);
+        sync_parent_dir(&path)?;
         StoredTrace::open(path)
     }
+
+    /// Recovers an **unsealed** trace file (a recording interrupted before
+    /// [`MmapTraceObserver::finish`]): scans the record stream, truncates
+    /// the file to the last valid round boundary, and returns an observer
+    /// positioned to append from there plus the number of complete rounds
+    /// recovered. Messages of the partially recorded round past that
+    /// boundary are discarded — re-running the interrupted round rewrites
+    /// them bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`std::io::ErrorKind::InvalidData`] when the file
+    /// does not even start with a valid trace header.
+    pub fn recover(path: impl Into<PathBuf>) -> io::Result<(Self, u64)> {
+        Self::recover_inner(path.into(), None)
+    }
+
+    /// Like [`MmapTraceObserver::recover`], but truncates to **exactly**
+    /// `rounds` complete rounds — the form the engine-checkpoint resume
+    /// path uses, so the trace re-joins the run at the checkpoint boundary.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`MmapTraceObserver::recover`] reports, plus
+    /// [`std::io::ErrorKind::InvalidData`] when fewer than `rounds` valid
+    /// rounds survive in the file.
+    pub fn recover_to(path: impl Into<PathBuf>, rounds: u64) -> io::Result<Self> {
+        let (obs, got) = Self::recover_inner(path.into(), Some(rounds))?;
+        if got != rounds {
+            return Err(corrupt(format!(
+                "trace holds only {got} recoverable rounds, {rounds} requested"
+            )));
+        }
+        Ok(obs)
+    }
+
+    fn recover_inner(path: PathBuf, limit: Option<u64>) -> io::Result<(Self, u64)> {
+        let file = File::open(&path)?;
+        let mut reader = io::BufReader::new(file);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != HEADER_MAGIC {
+            return Err(corrupt("bad trace header magic"));
+        }
+        let mut buf = [0u8; RECORD_BYTES];
+        let mut messages: u64 = 0;
+        let mut round_ends: Vec<u64> = Vec::new();
+        // Offset just past the last valid round marker, and the message
+        // count at that point — the recovery point.
+        let mut valid_end: u64 = 8;
+        let mut valid_messages: u64 = 0;
+        let mut offset: u64 = 8;
+        loop {
+            if limit.is_some_and(|lim| round_ends.len() as u64 >= lim) {
+                break;
+            }
+            let mut filled = 0usize;
+            while filled < RECORD_BYTES {
+                match reader.read(&mut buf[filled..]) {
+                    Ok(0) => break,
+                    Ok(k) => filled += k,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            if filled < RECORD_BYTES {
+                break; // torn tail (or clean EOF)
+            }
+            offset += RECORD_BYTES as u64;
+            if buf[0..4] == MARKER_SENTINEL.to_le_bytes() {
+                // A marker must agree with the running counts, or the
+                // stream in front of it was damaged.
+                match decode_marker(&buf) {
+                    Ok((round, cum)) if round == round_ends.len() as u64 && cum == messages => {
+                        round_ends.push(messages);
+                        valid_end = offset;
+                        valid_messages = messages;
+                    }
+                    _ => break,
+                }
+            } else if decode_record(&buf).is_ok() {
+                messages += 1;
+            } else {
+                // Bit rot, the footer of a sealed file, or a torn record:
+                // everything after the last marker is discarded.
+                break;
+            }
+        }
+        drop(reader);
+        let rounds = round_ends.len() as u64;
+        let file = fs::OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(valid_end)?;
+        let mut writer = BufWriter::new(file);
+        writer.seek(SeekFrom::Start(valid_end))?;
+        Ok((
+            MmapTraceObserver {
+                path,
+                writer,
+                messages: valid_messages,
+                round_ends,
+                error: None,
+            },
+            rounds,
+        ))
+    }
+}
+
+/// Fsyncs the directory containing `path`, making the file's directory
+/// entry durable (no-op on platforms where directories cannot be opened).
+pub(crate) fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        if let Some(parent) = path.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            File::open(dir)?.sync_all()?;
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
+    Ok(())
 }
 
 impl RoundObserver for MmapTraceObserver {
@@ -289,6 +510,14 @@ impl RoundObserver for MmapTraceObserver {
     }
 
     fn on_round_end(&mut self, _round: u64) {
+        if self.error.is_none() {
+            let mut buf = [0u8; RECORD_BYTES];
+            encode_marker(&mut buf, self.round_ends.len() as u64, self.messages);
+            if let Err(e) = self.writer.write_all(&buf) {
+                self.error = Some(e);
+                return;
+            }
+        }
         self.round_ends.push(self.messages);
     }
 }
@@ -339,7 +568,8 @@ impl StoredTrace {
         // allocation). A passing check bounds `rounds`/`messages` by the
         // actual file size, which makes the reservations below safe.
         let expected = messages
-            .checked_mul(RECORD_BYTES as u64)
+            .checked_add(rounds)
+            .and_then(|recs| recs.checked_mul(RECORD_BYTES as u64))
             .and_then(|b| b.checked_add(rounds.checked_mul(8)?))
             .and_then(|b| b.checked_add(8 + FOOTER_TAIL))
             .ok_or_else(|| corrupt("trace counts overflow the size accounting"))?;
@@ -349,7 +579,9 @@ impl StoredTrace {
                  ({expected} bytes) but the file holds {total}"
             )));
         }
-        file.seek(SeekFrom::Start(8 + messages * RECORD_BYTES as u64))?;
+        file.seek(SeekFrom::Start(
+            8 + (messages + rounds) * RECORD_BYTES as u64,
+        ))?;
         let mut round_ends = Vec::with_capacity(rounds as usize);
         let mut buf = [0u8; 8];
         for _ in 0..rounds {
@@ -443,7 +675,12 @@ impl StoredTrace {
         while done < count {
             let take = (count - done).min(Self::BLOCK_RECORDS);
             let bytes = &mut block[..take * RECORD_BYTES];
-            self.read_at(8 + (lo + done as u64) * RECORD_BYTES as u64, bytes)?;
+            // Round `i`'s records are preceded by `lo` messages and the `i`
+            // round markers that closed rounds 0..i.
+            self.read_at(
+                8 + (lo + i as u64 + done as u64) * RECORD_BYTES as u64,
+                bytes,
+            )?;
             for record in bytes.chunks_exact(RECORD_BYTES) {
                 out.push(decode_record(record.try_into().unwrap())?);
             }
@@ -642,6 +879,96 @@ mod tests {
             io::ErrorKind::InvalidData
         );
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_resumes_an_unsealed_recording() {
+        let rounds = vec![
+            vec![msg(0, 1, 10), msg(1, 0, 20)],
+            vec![msg(2, 0, 30)],
+            vec![msg(0, 2, 40)],
+        ];
+        let path = scratch_path("recover");
+        // Record all three rounds but drop the observer unsealed (the
+        // BufWriter flushes what it has on drop — a killed run).
+        let mut obs = MmapTraceObserver::create(&path).unwrap();
+        for (r, round) in rounds.iter().enumerate() {
+            for m in round {
+                obs.on_message(m.from, m.to, EdgeId(0), &m.message);
+            }
+            obs.on_round_end(r as u64);
+        }
+        drop(obs);
+        assert!(StoredTrace::open(&path).is_err(), "unsealed must not open");
+
+        // Recover to the checkpoint boundary after round 1, replay round 2.
+        let mut obs = MmapTraceObserver::recover_to(&path, 2).unwrap();
+        assert_eq!(obs.num_rounds(), 2);
+        assert_eq!(obs.num_messages(), 3);
+        for m in &rounds[2] {
+            obs.on_message(m.from, m.to, EdgeId(0), &m.message);
+        }
+        obs.on_round_end(2);
+        let stored = obs.finish().unwrap();
+        let mut in_ram = Trace::new();
+        for r in &rounds {
+            in_ram.push_round(r.clone());
+        }
+        assert!(stored.same_as(&in_ram).unwrap());
+        stored.remove().unwrap();
+    }
+
+    #[test]
+    fn recover_truncates_a_torn_tail() {
+        let path = scratch_path("torn");
+        let mut obs = MmapTraceObserver::create(&path).unwrap();
+        let m = msg(0, 1, 5);
+        obs.on_message(m.from, m.to, EdgeId(0), &m.message);
+        obs.on_round_end(0);
+        // A message of round 1 that never reached its round marker, plus a
+        // torn half-record.
+        obs.on_message(m.from, m.to, EdgeId(0), &m.message);
+        drop(obs);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xAB; RECORD_BYTES / 2]);
+        fs::write(&path, &bytes).unwrap();
+
+        let (obs, rounds) = MmapTraceObserver::recover(&path).unwrap();
+        assert_eq!(rounds, 1);
+        assert_eq!(obs.num_messages(), 1);
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            8 + 2 * RECORD_BYTES as u64,
+            "one message + one marker survive"
+        );
+        let stored = obs.finish().unwrap();
+        assert_eq!(stored.num_rounds(), 1);
+        stored.remove().unwrap();
+
+        // recover_to more rounds than survive is InvalidData.
+        let stored = record(&path, &[vec![msg(0, 1, 1)]]);
+        drop(stored);
+        assert_eq!(
+            MmapTraceObserver::recover_to(&path, 5).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flips_in_records_are_detected_on_read() {
+        let path = scratch_path("bitflip");
+        let stored = record(&path, &[vec![msg(0, 1, 1), msg(1, 0, 2)]]);
+        drop(stored);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8 + 20] ^= 0x40; // a payload byte of the first record
+        fs::write(&path, &bytes).unwrap();
+        let stored = StoredTrace::open(&path).unwrap();
+        assert_eq!(
+            stored.round(0).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        stored.remove().unwrap();
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Kill-and-resume differential: for two algorithms, three graph families
+//! and two thread settings, the checkpointed loop is killed at **every**
+//! round boundary and resumed from the surviving log. Every resumed run
+//! must reproduce the uninterrupted run bit-exactly — the full
+//! [`ExecutionReport`] (outputs, messages, rounds, per-edge metering) *and*
+//! the recorded message trace, continued at the checkpoint boundary via
+//! [`MmapTraceObserver::recover_to`].
+//!
+//! The kill is simulated the way a real crash looks on disk: the partial
+//! run's trace observer is dropped unsealed and the checkpoint log is left
+//! wherever the round budget cut it off (including *before the first
+//! boundary*, where the chain is empty and recovery restarts from round 0).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symbreak_classic::mis::{luby, parallel_greedy};
+use symbreak_congest::checkpoint::checkpoint_dir;
+use symbreak_congest::trace_store::{trace_dir, MmapTraceObserver};
+use symbreak_congest::{CheckpointChain, CheckpointConfig, ExecutionReport, SyncConfig};
+use symbreak_graphs::{generators, Graph, IdAssignment};
+
+/// A scratch directory under `base`, which callers pick via
+/// [`checkpoint_dir`] / [`trace_dir`] so the artifacts land where
+/// `CONGEST_CHECKPOINT_DIR` / `CONGEST_TRACE_DIR` point — the CI
+/// chaos-recovery job routes both into `mktemp` dirs and fails on
+/// leftovers.
+fn scratch_dir(base: PathBuf, kind: &str) -> PathBuf {
+    let dir = base.join(format!("sbck-resume-{kind}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Runs the full kill matrix for one `(algorithm, graph, threads)` cell:
+/// records the uninterrupted baseline (report + trace), then for every
+/// kill round `1..rounds` replays kill → recover → resume and checks both
+/// artifacts against the baseline. Returns the baseline report so callers
+/// can also assert thread-invariance across cells.
+#[allow(clippy::too_many_arguments)]
+fn kill_everywhere<RunC, Res>(
+    label: &str,
+    log_dir: &Path,
+    traces: &Path,
+    threads: usize,
+    every: u64,
+    plain: &ExecutionReport,
+    run_ckpt: RunC,
+    resume: Res,
+) -> ExecutionReport
+where
+    RunC: Fn(SyncConfig, &CheckpointConfig, &mut MmapTraceObserver) -> io::Result<ExecutionReport>,
+    Res: Fn(SyncConfig, &CheckpointConfig, &mut MmapTraceObserver) -> io::Result<ExecutionReport>,
+{
+    let config = SyncConfig::default().with_threads(threads);
+    let log = log_dir.join(format!("{label}-t{threads}.sbck"));
+    let trace_path = traces.join(format!("{label}-t{threads}.sbtrace"));
+    let ckpt = CheckpointConfig::new(&log).with_every(every);
+
+    // Uninterrupted baseline, trace attached.
+    let mut obs = MmapTraceObserver::create(&trace_path).expect("create baseline trace");
+    let baseline = run_ckpt(config, &ckpt, &mut obs).expect("baseline run");
+    assert!(baseline.completed, "{label}: baseline must terminate");
+    assert!(
+        baseline.rounds > every,
+        "{label}: run too short ({} rounds) to cross a checkpoint boundary",
+        baseline.rounds
+    );
+    assert_eq!(
+        &baseline, plain,
+        "{label}: checkpointing must not change the report"
+    );
+    let stored = obs.finish().expect("seal baseline trace");
+    let baseline_trace = stored.to_trace().expect("read baseline trace");
+    stored.remove().expect("drop baseline trace");
+
+    for kill in 1..baseline.rounds {
+        // The "kill": round budget runs out mid-run, the trace observer is
+        // dropped unsealed, the log keeps whatever boundaries were hit.
+        let mut obs = MmapTraceObserver::create(&trace_path).expect("create trace");
+        let partial = run_ckpt(config.with_max_rounds(kill), &ckpt, &mut obs).expect("partial run");
+        drop(obs);
+        assert!(!partial.completed, "{label}: kill at {kill} must interrupt");
+        assert_eq!(partial.rounds, kill);
+
+        // Recover: trace truncated to the boundary the log resumes at
+        // (round 0 when the kill predates the first checkpoint).
+        let chain = CheckpointChain::load(&log).expect("load killed log");
+        let boundary = chain.latest().map_or(0, |r| r.round);
+        assert!(boundary <= kill);
+        let mut obs = MmapTraceObserver::recover_to(&trace_path, boundary).expect("recover trace");
+        let resumed = resume(config, &ckpt, &mut obs).expect("resume");
+        assert_eq!(
+            resumed, baseline,
+            "{label}: resume after kill at {kill} must be bit-identical"
+        );
+        let stored = obs.finish().expect("seal resumed trace");
+        assert!(
+            stored.same_as(&baseline_trace).expect("compare traces"),
+            "{label}: resumed trace after kill at {kill} diverged"
+        );
+        stored.remove().expect("drop resumed trace");
+    }
+    std::fs::remove_file(&log).expect("drop log");
+    baseline
+}
+
+fn ranks(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect()
+}
+
+#[test]
+fn kill_at_every_boundary_resumes_bit_identically() {
+    let logs = scratch_dir(checkpoint_dir(), "logs");
+    let traces = scratch_dir(trace_dir(), "traces");
+    let graphs: Vec<(&str, Graph)> = vec![
+        (
+            "gnp",
+            generators::connected_gnp(26, 0.15, &mut StdRng::seed_from_u64(3)),
+        ),
+        (
+            "sparse",
+            generators::bounded_arboricity(26, 3, &mut StdRng::seed_from_u64(5)),
+        ),
+        (
+            "smallworld",
+            generators::small_world(24, 4, 0.2, &mut StdRng::seed_from_u64(7)),
+        ),
+    ];
+
+    for (gname, graph) in &graphs {
+        let n = graph.num_nodes();
+        let ids = IdAssignment::identity(n);
+        let ranks = ranks(n);
+        let mut luby_reports = Vec::new();
+        let mut greedy_reports = Vec::new();
+        for threads in [1usize, 4] {
+            let config = SyncConfig::default().with_threads(threads);
+            let (_, luby_plain) = luby::run(graph, &ids, 0xAB, config);
+            let label = format!("luby-{gname}");
+            luby_reports.push(kill_everywhere(
+                &label,
+                &logs,
+                &traces,
+                threads,
+                2,
+                &luby_plain,
+                |cfg, ck, obs| luby::run_checkpointed_observed(graph, &ids, 0xAB, cfg, ck, obs),
+                |cfg, ck, obs| luby::resume_observed(graph, &ids, 0xAB, cfg, ck, obs),
+            ));
+
+            let (_, greedy_plain) =
+                parallel_greedy::run_on_whole_graph(graph, &ids, &ranks, config);
+            let label = format!("greedy-{gname}");
+            greedy_reports.push(kill_everywhere(
+                &label,
+                &logs,
+                &traces,
+                threads,
+                3,
+                &greedy_plain,
+                |cfg, ck, obs| {
+                    parallel_greedy::run_checkpointed_observed(graph, &ids, &ranks, cfg, ck, obs)
+                },
+                |cfg, ck, obs| parallel_greedy::resume_observed(graph, &ids, &ranks, cfg, ck, obs),
+            ));
+        }
+        // Thread-invariance: the same cell at 1 and 4 workers is the same
+        // execution, so the whole kill matrix above checked one contract.
+        assert_eq!(luby_reports[0], luby_reports[1], "{gname}: luby threads");
+        assert_eq!(
+            greedy_reports[0], greedy_reports[1],
+            "{gname}: greedy threads"
+        );
+    }
+    std::fs::remove_dir_all(&logs).expect("drop log scratch dir");
+    std::fs::remove_dir_all(&traces).expect("drop trace scratch dir");
+}

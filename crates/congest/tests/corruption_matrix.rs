@@ -1,0 +1,201 @@
+//! Corruption matrix over every on-disk format of the crash-recovery
+//! subsystem: checkpoint logs (`SBCKLOG1`), trace stores (`SBTRACE2`) and
+//! graph shards + manifest (`SBSHARD2` / `SBSGDIR2`).
+//!
+//! For each artifact the matrix applies
+//!
+//! * **truncation at every byte length** `0..len` (covering every field
+//!   boundary of every record), and
+//! * **a bit flip at every byte offset**,
+//!
+//! and requires the loader to either recover (a valid prefix for
+//! append-only logs, a checksum-verified full read otherwise) or fail with
+//! a clean [`io::Error`] — `InvalidData` for detected corruption,
+//! `UnexpectedEof` only for cuts inside the fixed header. Panics and
+//! wrong-but-accepted data are the failures this matrix exists to catch:
+//! every successfully loaded artifact is re-validated against the pristine
+//! original.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symbreak_classic::mis::luby;
+use symbreak_congest::checkpoint::checkpoint_dir;
+use symbreak_congest::trace_store::{trace_dir, MmapTraceObserver, StoredTrace};
+use symbreak_congest::{CheckpointChain, CheckpointConfig, SyncConfig};
+use symbreak_graphs::sharded::ShardedGraph;
+use symbreak_graphs::storage::{read_shard_file, save_sharded, shard_file_name, ShardStore};
+use symbreak_graphs::{generators, IdAssignment};
+
+/// A scratch directory under `base`, which each test picks via
+/// [`checkpoint_dir`] / [`trace_dir`] (the system temp dir for shard
+/// stores) so the CI chaos-recovery job's tmpdir-hygiene check covers
+/// this suite's artifacts too.
+fn scratch_dir(base: PathBuf, name: &str) -> PathBuf {
+    let dir = base.join(format!("sb-corrupt-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Asserts a loader outcome is acceptable for a damaged file: clean
+/// recovery or a clean error, never a panic (panics abort the test on
+/// their own) and never an exotic error kind.
+fn acceptable_error(err: &io::Error, what: &str, detail: &str) {
+    assert!(
+        matches!(
+            err.kind(),
+            io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+        ),
+        "{what} ({detail}): unexpected error kind {:?}",
+        err.kind()
+    );
+}
+
+/// Runs `check` on a copy of `bytes` truncated to every length and with a
+/// bit flipped at every byte offset. `check` loads the artifact from the
+/// scratch path and validates whatever it managed to read.
+fn sweep(bytes: &[u8], path: &Path, mut check: impl FnMut(&str)) {
+    for len in 0..bytes.len() {
+        fs::write(path, &bytes[..len]).expect("write truncated copy");
+        check(&format!("truncated to {len}"));
+    }
+    let mut copy = bytes.to_vec();
+    for i in 0..copy.len() {
+        copy[i] ^= 0x40;
+        fs::write(path, &copy).expect("write flipped copy");
+        check(&format!("bit flip at byte {i}"));
+        copy[i] ^= 0x40;
+    }
+    fs::write(path, bytes).expect("restore pristine copy");
+}
+
+#[test]
+fn checkpoint_log_survives_truncation_and_bit_flips() {
+    let dir = scratch_dir(checkpoint_dir(), "ckpt");
+    let graph = generators::connected_gnp(16, 0.25, &mut StdRng::seed_from_u64(3));
+    let ids = IdAssignment::identity(16);
+    let log = dir.join("luby.sbck");
+    let ckpt = CheckpointConfig::new(&log).with_every(2);
+    let report = luby::run_checkpointed(&graph, &ids, 5, SyncConfig::default(), &ckpt)
+        .expect("checkpointed run");
+    assert!(report.completed);
+
+    let bytes = fs::read(&log).expect("read log");
+    let pristine = CheckpointChain::load(&log).expect("pristine log loads");
+    assert!(!pristine.records().is_empty(), "log must hold checkpoints");
+    let damaged = dir.join("damaged.sbck");
+    sweep(&bytes, &damaged, |detail| {
+        match CheckpointChain::load(&damaged) {
+            // The valid prefix contract: whatever loads is a prefix of the
+            // pristine chain, field for field.
+            Ok(chain) => {
+                assert!(chain.records().len() <= pristine.records().len());
+                for (got, want) in chain.records().iter().zip(pristine.records()) {
+                    assert_eq!(got.round, want.round, "checkpoint log ({detail})");
+                }
+            }
+            Err(e) => acceptable_error(&e, "checkpoint log", detail),
+        }
+    });
+    fs::remove_dir_all(&dir).expect("drop scratch");
+}
+
+#[test]
+fn trace_store_survives_truncation_and_bit_flips() {
+    let dir = scratch_dir(trace_dir(), "trace");
+    let graph = generators::cycle(12);
+    let ids = IdAssignment::identity(12);
+    let log = dir.join("trace.sbck");
+    let path = dir.join("run.sbtrace");
+    let mut obs = MmapTraceObserver::create(&path).expect("create trace");
+    let ckpt = CheckpointConfig::new(&log).with_every(4);
+    luby::run_checkpointed_observed(&graph, &ids, 7, SyncConfig::default(), &ckpt, &mut obs)
+        .expect("recorded run");
+    let stored = obs.finish().expect("seal");
+    let pristine = stored.to_trace().expect("read pristine trace");
+    let rounds = pristine.num_rounds();
+
+    let bytes = fs::read(&path).expect("read trace");
+    let damaged = dir.join("damaged.sbtrace");
+    sweep(&bytes, &damaged, |detail| {
+        // The sealed-open path: all-or-nothing per round, detected on read.
+        match StoredTrace::open(&damaged) {
+            Ok(t) => {
+                for i in 0..t.num_rounds() {
+                    match t.round(i) {
+                        Ok(msgs) => {
+                            assert!(
+                                i < pristine.num_rounds(),
+                                "stored trace ({detail}) fabricated round {i}"
+                            );
+                            assert_eq!(
+                                msgs,
+                                pristine.round(i),
+                                "stored trace round {i} ({detail})"
+                            );
+                        }
+                        Err(e) => acceptable_error(&e, "stored trace read", detail),
+                    }
+                }
+            }
+            Err(e) => acceptable_error(&e, "stored trace open", detail),
+        }
+        // The crash-recovery path: longest valid round prefix.
+        match MmapTraceObserver::recover(&damaged) {
+            Ok((recovered, got)) => {
+                assert!(got <= rounds as u64, "recover grew the trace ({detail})");
+                drop(recovered);
+            }
+            Err(e) => acceptable_error(&e, "trace recover", detail),
+        }
+    });
+    fs::remove_dir_all(&dir).expect("drop scratch");
+}
+
+#[test]
+fn shard_store_survives_truncation_and_bit_flips() {
+    let dir = scratch_dir(std::env::temp_dir(), "shards");
+    let graph = generators::small_world(40, 4, 0.1, &mut StdRng::seed_from_u64(9));
+    let sharded = ShardedGraph::build(&graph, 3);
+    let store_dir = dir.join("store");
+    fs::create_dir_all(&store_dir).expect("store dir");
+    save_sharded(&sharded, &store_dir).expect("save shards");
+    let pristine = ShardStore::open(&store_dir)
+        .and_then(|s| s.load())
+        .expect("pristine store loads");
+    let shard0 = read_shard_file(&store_dir.join(shard_file_name(0))).expect("pristine shard");
+
+    // Damage the manifest: open/load must reject or reproduce the graph.
+    let manifest = store_dir.join("manifest.sbsg");
+    let bytes = fs::read(&manifest).expect("read manifest");
+    sweep(&bytes, &manifest, |detail| {
+        match ShardStore::open(&store_dir).and_then(|s| s.load()) {
+            Ok(loaded) => assert_eq!(
+                loaded.plan(),
+                pristine.plan(),
+                "manifest ({detail}) changed the plan"
+            ),
+            Err(e) => acceptable_error(&e, "shard manifest", detail),
+        }
+    });
+
+    // Damage one shard file: the per-shard read and the full load must
+    // both reject or reproduce it.
+    let shard_path = store_dir.join(shard_file_name(0));
+    let bytes = fs::read(&shard_path).expect("read shard");
+    sweep(&bytes, &shard_path, |detail| {
+        match read_shard_file(&shard_path) {
+            Ok(s) => assert_eq!(s, shard0, "shard 0 ({detail}) silently changed"),
+            Err(e) => acceptable_error(&e, "shard file", detail),
+        }
+        match ShardStore::open(&store_dir).and_then(|s| s.load()) {
+            Ok(loaded) => assert_eq!(loaded.plan(), pristine.plan()),
+            Err(e) => acceptable_error(&e, "shard store load", detail),
+        }
+    });
+    fs::remove_dir_all(&dir).expect("drop scratch");
+}

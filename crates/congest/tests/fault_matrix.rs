@@ -1,19 +1,25 @@
 //! Scenario matrix: algorithms × fault classes, with asserted outcomes.
 //!
-//! Five algorithms — raw asynchronous flooding (phase-free control), Luby's
-//! MIS and rank-based parallel greedy MIS (the Step-2 core of Algorithm 3),
-//! an Algorithm 1 query-coloring stage and the Algorithm 2 colour-trial
-//! phases — run on the asynchronous executor under seven fault classes:
+//! Six algorithm columns — raw asynchronous flooding (phase-free control),
+//! Luby's MIS and rank-based parallel greedy MIS (the Step-2 core of
+//! Algorithm 3), Luby again on a bounded-arboricity sparse graph, an
+//! Algorithm 1 query-coloring stage and the Algorithm 2 colour-trial
+//! phases — run on the asynchronous executor under eight fault classes:
 //! benign, oblivious adversarial delay, adaptive adversarial delay, message
 //! loss (global + one always-dropping edge), duplication + reordering,
-//! crash, and crash-with-recovery. The synchronous algorithms run through
-//! the α-synchronizer lockstep wrapper (`congest::lockstep`), which turns
-//! the paper's Theorem A.5 claim into checkable per-cell outcomes:
+//! crash, crash-with-reset-recovery, and crash-with-retained-recovery. The
+//! synchronous algorithms run through the α-synchronizer lockstep wrapper
+//! (`congest::lockstep`), which turns the paper's Theorem A.5 claim into
+//! checkable per-cell outcomes:
 //!
 //! * **benign / delay-only / duplication+reordering** — the run completes
 //!   and its outputs are *bit-identical* to the synchronous run (proper
 //!   colourings stay proper, MIS stays an MIS);
-//! * **loss / crash / crash-with-recovery** — the run **stalls** (no node
+//! * **crash with retained recovery** — the revived node re-joins through
+//!   the lockstep replay protocol (bounded replay buffers), and the run
+//!   *completes* with outputs bit-identical to the synchronous run — the
+//!   cell that used to stall before re-join existed;
+//! * **loss / crash / crash-with-reset** — the run **stalls** (no node
 //!   ever executes a round on a partial inbox), and every node that did
 //!   decide agrees with the synchronous run — safety survives, liveness is
 //!   what faults take away.
@@ -63,6 +69,7 @@ enum Class {
     DupReorder,
     Crash,
     CrashRecovery,
+    CrashRetain,
 }
 
 impl Class {
@@ -75,6 +82,7 @@ impl Class {
             Class::DupReorder => "dup-reorder",
             Class::Crash => "crash",
             Class::CrashRecovery => "crash-recovery",
+            Class::CrashRetain => "crash-retain",
         }
     }
 
@@ -85,6 +93,13 @@ impl Class {
             self,
             Class::Benign | Class::Oblivious | Class::Adaptive | Class::DupReorder
         )
+    }
+
+    /// Whether the class crashes a node but hands it back with retained
+    /// state, so the lockstep re-join protocol must drive the run to
+    /// completion (the cell that stalled before re-join existed).
+    fn rejoins(self) -> bool {
+        matches!(self, Class::CrashRetain)
     }
 
     fn plan(self, graph: &Graph, seed: u64) -> FaultPlan {
@@ -111,6 +126,15 @@ impl Class {
                 node: crash_node,
                 at: 2,
                 recovery: Some((30, Recovery::Reset)),
+            }),
+            // Recovery is scheduled deep into quiescence (the executor jumps
+            // idle time, so this costs nothing): the revived node wakes on an
+            // empty inbox, broadcasts REJOIN, and neighbours replay from
+            // their bounded buffers.
+            Class::CrashRetain => FaultPlan::default().with_crash(CrashFault {
+                node: crash_node,
+                at: 2,
+                recovery: Some((1_000, Recovery::Retain)),
             }),
         }
     }
@@ -177,10 +201,10 @@ where
     );
 
     if lockstep {
-        if class.lossless() {
+        if class.lossless() || class.rejoins() {
             assert!(
                 report.completed,
-                "{algorithm}/{}: lossless schedules must terminate",
+                "{algorithm}/{}: lossless/re-joining schedules must terminate",
                 class.name()
             );
             assert_eq!(
@@ -189,6 +213,18 @@ where
                 "{algorithm}/{}: lossless lockstep must replay the synchronous outputs",
                 class.name()
             );
+            if class.rejoins() {
+                assert!(
+                    report.faults.rejoin_pulses > 0,
+                    "{algorithm}/{}: a retained crash must trigger REJOIN pulses",
+                    class.name()
+                );
+                assert!(
+                    report.faults.replayed > 0,
+                    "{algorithm}/{}: neighbours must replay retained rounds",
+                    class.name()
+                );
+            }
         } else {
             assert!(
                 !report.completed,
@@ -207,7 +243,7 @@ where
         Class::Loss => assert!(report.faults.dropped > 0, "{algorithm}: loss must drop"),
         Class::DupReorder => assert!(report.faults.duplicated > 0),
         Class::Crash => assert_eq!(report.faults.crashes, 1),
-        Class::CrashRecovery => {
+        Class::CrashRecovery | Class::CrashRetain => {
             assert_eq!(report.faults.crashes, 1);
             assert_eq!(report.faults.recoveries, 1);
         }
@@ -260,6 +296,7 @@ fn scenario_matrix() {
         Class::DupReorder,
         Class::Crash,
         Class::CrashRecovery,
+        Class::CrashRetain,
     ];
     let classes: Vec<Class> = all_classes
         .into_iter()
@@ -322,11 +359,48 @@ fn scenario_matrix() {
                 }
                 (sync_report.outputs, report)
             });
-            if class.lossless() {
+            if class.lossless() || class.rejoins() {
                 let mis: Vec<bool> = row.report.outputs.iter().map(|o| *o == Some(1)).collect();
                 assert!(
                     verify::is_mis(&graph, &mis),
                     "luby/{}: not an MIS",
+                    row.class
+                );
+            } else {
+                assert!(independent_decided(&graph, &row.report.outputs));
+            }
+            rows.push(row);
+        }
+    }
+
+    // --- Luby's MIS (lockstep) on a bounded-arboricity sparse graph -------
+    // The paper's upper bounds are parameterised by sparsity; this column
+    // checks that the outcome contract is graph-family independent by
+    // rerunning the lockstep MIS on an arboricity-≤3 (hence 3-degenerate)
+    // graph, where replay buffers stay small because degrees do.
+    {
+        let graph = generators::bounded_arboricity(24, 3, &mut StdRng::seed_from_u64(17));
+        let ids = IdAssignment::identity(24);
+        for (ci, &class) in classes.iter().enumerate() {
+            let seed = base_seed ^ 0x5_0000 ^ (ci as u64) << 8;
+            let row = run_cell("luby-sparse", true, &graph, class, seed, |plan, seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let (sync_report, report) = luby::run_async(
+                    &graph,
+                    &ids,
+                    0x5AB0 ^ seed,
+                    SyncConfig::default(),
+                    async_config(),
+                    plan,
+                    &mut rng,
+                );
+                (sync_report.outputs, report)
+            });
+            if class.lossless() || class.rejoins() {
+                let mis: Vec<bool> = row.report.outputs.iter().map(|o| *o == Some(1)).collect();
+                assert!(
+                    verify::is_mis(&graph, &mis),
+                    "luby-sparse/{}: not an MIS",
                     row.class
                 );
             } else {
@@ -358,7 +432,7 @@ fn scenario_matrix() {
                 );
                 (sync_report.outputs, report)
             });
-            if class.lossless() {
+            if class.lossless() || class.rejoins() {
                 let mis: Vec<bool> = row.report.outputs.iter().map(|o| *o == Some(1)).collect();
                 assert!(verify::is_mis(&graph, &mis));
             } else {
@@ -455,6 +529,6 @@ fn scenario_matrix() {
             r.report.faults.crashes,
         );
     }
-    let expected = 5 * classes.len();
+    let expected = 6 * classes.len();
     assert_eq!(rows.len(), expected, "matrix must cover every cell");
 }

@@ -317,6 +317,42 @@ pub fn small_world<R: Rng + ?Sized>(n: usize, k: usize, rewire_p: f64, rng: &mut
     b.build()
 }
 
+/// Connected random graph of arboricity at most `a`, built by
+/// `a`-degeneracy: node `v` links to `min(a, v)` distinct uniformly random
+/// earlier nodes, so every node has at most `a` back-edges. Assigning each
+/// node's `i`-th back-edge to forest `i` partitions the edges into `a`
+/// forests (at most one parent per node per forest), hence arboricity ≤ `a`.
+/// With `m = a·n − O(a²)` edges this is the uniformly sparse family —
+/// locally tree-like at `a = 1`, complementing the dense, community and
+/// heavy-tailed topologies in the fault matrix.
+///
+/// # Panics
+///
+/// Panics unless `a ≥ 1`.
+pub fn bounded_arboricity<R: Rng + ?Sized>(n: usize, a: usize, rng: &mut R) -> Graph {
+    assert!(a >= 1, "arboricity bound must be at least 1");
+    let mut b = GraphBuilder::new(n);
+    let mut chosen: Vec<u32> = Vec::with_capacity(a);
+    for v in 1..n {
+        chosen.clear();
+        let picks = a.min(v);
+        if picks == v {
+            chosen.extend(0..v as u32);
+        } else {
+            while chosen.len() < picks {
+                let u = rng.gen_range(0..v as u32);
+                if !chosen.contains(&u) {
+                    chosen.push(u);
+                }
+            }
+        }
+        for &u in &chosen {
+            b.add_edge(NodeId(v as u32), NodeId(u));
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,5 +552,38 @@ mod tests {
     fn small_world_rejects_dense_lattice() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = small_world(6, 3, 0.1, &mut rng);
+    }
+
+    #[test]
+    fn bounded_arboricity_is_sparse_connected_and_degenerate() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (n, a) = (200usize, 3usize);
+        let g = bounded_arboricity(n, a, &mut rng);
+        assert_eq!(g.num_nodes(), n);
+        // Exactly min(a, v) back-edges per node: 1 + 2 + a·(n − a).
+        assert_eq!(g.num_edges(), 1 + 2 + a * (n - a));
+        assert!(properties::is_connected(&g));
+        // Degeneracy witness of arboricity ≤ a: every node has at most `a`
+        // neighbours with a smaller index.
+        let mut back = vec![0usize; n];
+        for (_, u, v) in g.edges() {
+            back[u.index().max(v.index())] += 1;
+        }
+        assert!(back.iter().all(|&d| d <= a));
+    }
+
+    #[test]
+    fn bounded_arboricity_one_is_a_random_tree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = bounded_arboricity(50, 1, &mut rng);
+        assert_eq!(g.num_edges(), 49);
+        assert!(properties::is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn bounded_arboricity_rejects_zero_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = bounded_arboricity(10, 0, &mut rng);
     }
 }

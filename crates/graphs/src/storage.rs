@@ -13,27 +13,35 @@
 //! step a graph **shard by shard**: only the shard currently being stepped
 //! has to be resident, so graphs larger than RAM remain simulatable.
 //!
-//! # File formats
+//! # File formats (version 2 — torn-write safe)
 //!
 //! Shard file (`shard-<k>.sbsh`):
 //!
 //! ```text
-//! magic  b"SBSHARD1"
+//! magic  b"SBSHARD2"
 //! start u32 · len u32 · num_targets u32 · num_ghosts u32
 //! offsets      (len + 1) × u32          — local CSR offsets
 //! targets      num_targets × u32        — bit 31 tags a ghost index
 //! ghosts       num_ghosts × (u32, u32)  — (owning shard, local index)
 //! ghost_globals num_ghosts × u32        — pre-resolved global NodeIds
+//! checksum u64                          — FNV-1a over everything above,
+//!                                         magic excluded
 //! magic  b"SBSHEND1"                    — truncation guard
 //! ```
 //!
-//! Manifest (`manifest.sbsg`): magic `b"SBSGDIR1"`, shard count `u32`, then
-//! the `num_shards + 1` plan boundaries as `u32`s.
+//! Manifest (`manifest.sbsg`): magic `b"SBSGDIR2"`, shard count `u32`, the
+//! `num_shards + 1` plan boundaries as `u32`s, then the same FNV-1a
+//! checksum `u64`.
 //!
-//! Every reader validates magics, counts and structural invariants
-//! (monotone offsets, in-range local/ghost references) and reports
-//! violations as [`std::io::ErrorKind::InvalidData`] — a corrupt or
-//! truncated file never panics.
+//! Every reader validates magics, counts, the checksum and structural
+//! invariants (monotone offsets, in-range local/ghost references) and
+//! reports violations as [`std::io::ErrorKind::InvalidData`] — a corrupt
+//! or truncated file never panics. Writers are torn-write safe: every
+//! file is written to a temporary sibling, fsynced, then atomically
+//! renamed into place (with a parent-directory fsync), so a crash
+//! mid-write never leaves a half-written file under the final name —
+//! and [`save_sharded`] is *resumable*: re-running it validates any
+//! files already present and rewrites only the missing or damaged ones.
 //!
 //! # Example
 //!
@@ -62,11 +70,11 @@ use crate::sharded::{GhostRef, GraphShard, ShardPlan, ShardedGraph, GHOST_BIT};
 use crate::NodeId;
 
 /// Leading magic of a shard file.
-const SHARD_MAGIC: &[u8; 8] = b"SBSHARD1";
+const SHARD_MAGIC: &[u8; 8] = b"SBSHARD2";
 /// Trailing magic of a shard file (guards against truncation).
 const SHARD_END: &[u8; 8] = b"SBSHEND1";
 /// Leading magic of a sharded-graph manifest.
-const MANIFEST_MAGIC: &[u8; 8] = b"SBSGDIR1";
+const MANIFEST_MAGIC: &[u8; 8] = b"SBSGDIR2";
 
 /// File name of the manifest inside a sharded-graph directory.
 pub const MANIFEST_FILE: &str = "manifest.sbsg";
@@ -78,6 +86,130 @@ pub fn shard_file_name(s: usize) -> String {
 
 fn corrupt(what: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+/// Incremental 64-bit FNV-1a.
+fn fnv64(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a offset basis — the running checksum's initial state.
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// A writer that checksums everything passing through it.
+struct HashingWriter<W> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter {
+            inner,
+            hash: FNV_BASIS,
+        }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash = fnv64(self.hash, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that checksums everything passing through it.
+struct HashingReader<R> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader {
+            inner,
+            hash: FNV_BASIS,
+        }
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash = fnv64(self.hash, &buf[..n]);
+        Ok(n)
+    }
+}
+
+/// Reads and verifies the trailing checksum word written by a
+/// [`HashingWriter`]-wrapped writer.
+fn expect_checksum(r: &mut impl Read, computed: u64, what: &str) -> io::Result<()> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    if u64::from_le_bytes(buf) != computed {
+        return Err(corrupt(format!("{what} checksum mismatch")));
+    }
+    Ok(())
+}
+
+/// Writes `path` atomically: the payload goes to a temporary sibling,
+/// which is flushed, fsynced and renamed over `path`, followed by a
+/// parent-directory fsync — a crash at any point leaves either the old
+/// file or the new one, never a torn hybrid.
+fn write_file_atomic(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = match path.file_name() {
+        Some(name) => {
+            let mut n = name.to_os_string();
+            n.push(".tmp");
+            path.with_file_name(n)
+        }
+        None => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "path has no file name",
+            ))
+        }
+    };
+    let mut w = BufWriter::new(File::create(&tmp)?);
+    write(&mut w)?;
+    w.flush()?;
+    w.get_ref().sync_all()?;
+    drop(w);
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// Fsyncs the directory containing `path` (no-op where directories cannot
+/// be opened).
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        if let Some(parent) = path.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            File::open(dir)?.sync_all()?;
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
+    Ok(())
 }
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
@@ -129,31 +261,33 @@ fn read_u32s<T>(r: &mut impl Read, count: usize, map: impl Fn(u32) -> T) -> io::
 pub fn write_shard(shard: &GraphShard, w: &mut impl Write) -> io::Result<()> {
     let (start, offsets, targets, ghosts, ghost_globals) = shard.raw_parts();
     w.write_all(SHARD_MAGIC)?;
-    write_u32(w, start)?;
-    write_u32(w, (offsets.len() - 1) as u32)?;
-    write_u32(w, targets.len() as u32)?;
-    write_u32(w, ghosts.len() as u32)?;
+    let mut hw = HashingWriter::new(&mut *w);
+    write_u32(&mut hw, start)?;
+    write_u32(&mut hw, (offsets.len() - 1) as u32)?;
+    write_u32(&mut hw, targets.len() as u32)?;
+    write_u32(&mut hw, ghosts.len() as u32)?;
     for &o in offsets {
-        write_u32(w, o)?;
+        write_u32(&mut hw, o)?;
     }
     for &t in targets {
-        write_u32(w, t.0)?;
+        write_u32(&mut hw, t.0)?;
     }
     for g in ghosts {
-        write_u32(w, g.shard)?;
-        write_u32(w, g.local)?;
+        write_u32(&mut hw, g.shard)?;
+        write_u32(&mut hw, g.local)?;
     }
     for &g in ghost_globals {
-        write_u32(w, g.0)?;
+        write_u32(&mut hw, g.0)?;
     }
+    let hash = hw.hash;
+    w.write_all(&hash.to_le_bytes())?;
     w.write_all(SHARD_END)
 }
 
-/// Serializes one shard to its own file (created or truncated).
+/// Serializes one shard to its own file, atomically (temp file + fsync +
+/// rename + directory fsync — see the [module docs](self)).
 pub fn write_shard_file(shard: &GraphShard, path: &Path) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    write_shard(shard, &mut w)?;
-    w.flush()
+    write_file_atomic(path, |w| write_shard(shard, w))
 }
 
 /// Deserializes one shard from `r`, validating the format and every
@@ -167,18 +301,19 @@ pub fn write_shard_file(shard: &GraphShard, path: &Path) -> io::Result<()> {
 /// [`std::io::ErrorKind::UnexpectedEof`] on truncation mid-array.
 pub fn read_shard(r: &mut impl Read) -> io::Result<GraphShard> {
     expect_magic(r, SHARD_MAGIC, "shard")?;
-    let start = read_u32(r)?;
-    let len = read_u32(r)? as usize;
-    let num_targets = read_u32(r)? as usize;
-    let num_ghosts = read_u32(r)? as usize;
-    let offsets: Vec<u32> = read_u32s(r, len + 1, |v| v)?;
+    let mut hr = HashingReader::new(&mut *r);
+    let start = read_u32(&mut hr)?;
+    let len = read_u32(&mut hr)? as usize;
+    let num_targets = read_u32(&mut hr)? as usize;
+    let num_ghosts = read_u32(&mut hr)? as usize;
+    let offsets: Vec<u32> = read_u32s(&mut hr, len + 1, |v| v)?;
     if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
         return Err(corrupt("shard offsets are not monotone from 0"));
     }
     if *offsets.last().unwrap() as usize != num_targets {
         return Err(corrupt("shard offsets do not end at the target count"));
     }
-    let targets: Vec<NodeId> = read_u32s(r, num_targets, NodeId)?;
+    let targets: Vec<NodeId> = read_u32s(&mut hr, num_targets, NodeId)?;
     for &t in &targets {
         let (ghost, idx) = (t.0 & GHOST_BIT != 0, (t.0 & !GHOST_BIT) as usize);
         if ghost && idx >= num_ghosts {
@@ -188,7 +323,7 @@ pub fn read_shard(r: &mut impl Read) -> io::Result<GraphShard> {
             return Err(corrupt(format!("local target {idx} outside the shard")));
         }
     }
-    let ghost_words: Vec<u32> = read_u32s(r, num_ghosts * 2, |v| v)?;
+    let ghost_words: Vec<u32> = read_u32s(&mut hr, num_ghosts * 2, |v| v)?;
     let ghosts: Vec<GhostRef> = ghost_words
         .chunks_exact(2)
         .map(|c| GhostRef {
@@ -196,7 +331,9 @@ pub fn read_shard(r: &mut impl Read) -> io::Result<GraphShard> {
             local: c[1],
         })
         .collect();
-    let ghost_globals: Vec<NodeId> = read_u32s(r, num_ghosts, NodeId)?;
+    let ghost_globals: Vec<NodeId> = read_u32s(&mut hr, num_ghosts, NodeId)?;
+    let computed = hr.hash;
+    expect_checksum(r, computed, "shard")?;
     expect_magic(r, SHARD_END, "shard trailer")?;
     Ok(GraphShard::from_raw_parts(
         start,
@@ -215,18 +352,30 @@ pub fn read_shard_file(path: &Path) -> io::Result<GraphShard> {
 /// Writes `sharded` to `dir` (created if absent): the [`MANIFEST_FILE`]
 /// plus one [`shard_file_name`] file per shard, each independently
 /// loadable.
+///
+/// The save is **resumable**: every file is written atomically, and a
+/// shard file already present that parses cleanly and equals the shard
+/// being saved is left untouched — re-running an interrupted save
+/// rewrites only what is missing or damaged.
 pub fn save_sharded(sharded: &ShardedGraph, dir: &Path) -> io::Result<()> {
     fs::create_dir_all(dir)?;
-    let mut w = BufWriter::new(File::create(dir.join(MANIFEST_FILE))?);
-    w.write_all(MANIFEST_MAGIC)?;
-    let starts = sharded.plan().starts();
-    write_u32(&mut w, (starts.len() - 1) as u32)?;
-    for &s in starts {
-        write_u32(&mut w, s)?;
-    }
-    w.flush()?;
+    write_file_atomic(&dir.join(MANIFEST_FILE), |w| {
+        w.write_all(MANIFEST_MAGIC)?;
+        let mut hw = HashingWriter::new(&mut *w);
+        let starts = sharded.plan().starts();
+        write_u32(&mut hw, (starts.len() - 1) as u32)?;
+        for &s in starts {
+            write_u32(&mut hw, s)?;
+        }
+        let hash = hw.hash;
+        w.write_all(&hash.to_le_bytes())
+    })?;
     for s in 0..sharded.num_shards() {
-        write_shard_file(sharded.shard(s), &dir.join(shard_file_name(s)))?;
+        let path = dir.join(shard_file_name(s));
+        if matches!(read_shard_file(&path), Ok(existing) if existing == *sharded.shard(s)) {
+            continue;
+        }
+        write_shard_file(sharded.shard(s), &path)?;
     }
     Ok(())
 }
@@ -254,14 +403,17 @@ impl ShardStore {
     pub fn open(dir: &Path) -> io::Result<Self> {
         let mut r = BufReader::new(File::open(dir.join(MANIFEST_FILE))?);
         expect_magic(&mut r, MANIFEST_MAGIC, "manifest")?;
-        let num_shards = read_u32(&mut r)? as usize;
+        let mut hr = HashingReader::new(&mut r);
+        let num_shards = read_u32(&mut hr)? as usize;
         if num_shards == 0 {
             return Err(corrupt("manifest declares zero shards"));
         }
-        let starts: Vec<u32> = read_u32s(&mut r, num_shards + 1, |v| v)?;
+        let starts: Vec<u32> = read_u32s(&mut hr, num_shards + 1, |v| v)?;
         if starts[0] != 0 || starts.windows(2).any(|w| w[0] > w[1]) {
             return Err(corrupt("manifest boundaries are not monotone from 0"));
         }
+        let computed = hr.hash;
+        expect_checksum(&mut r, computed, "manifest")?;
         Ok(ShardStore {
             dir: dir.to_path_buf(),
             plan: ShardPlan::from_starts(starts),
@@ -414,6 +566,66 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join(MANIFEST_FILE), b"not a manifest").unwrap();
         assert!(ShardStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_the_checksum() {
+        // Flip a ghost-table word: structurally plausible in isolation
+        // (ghost references are only cross-validated at `load()` time), so
+        // only the checksum can catch it at `read_shard` level.
+        let g = generators::cycle(8);
+        let sg = ShardedGraph::build(&g, 2);
+        let mut bytes = Vec::new();
+        write_shard(sg.shard(0), &mut bytes).unwrap();
+        let ghost_word = bytes.len() - 16 - 4 * sg.shard(0).num_ghosts() - 8;
+        bytes[ghost_word] ^= 0x01;
+        assert_eq!(
+            read_shard(&mut bytes.as_slice()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        // A flipped manifest byte is caught the same way.
+        let dir = scratch_dir("manifest-flip");
+        save_sharded(&sg, &dir).unwrap();
+        let mpath = dir.join(MANIFEST_FILE);
+        let mut mbytes = fs::read(&mpath).unwrap();
+        let at = mbytes.len() - 12;
+        mbytes[at] ^= 0x02;
+        fs::write(&mpath, &mbytes).unwrap();
+        assert_eq!(
+            ShardStore::open(&dir).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_saves_resume_and_leave_no_temp_files() {
+        let g = generators::cycle(12);
+        let sg = ShardedGraph::build(&g, 3);
+        let dir = scratch_dir("resume");
+        save_sharded(&sg, &dir).unwrap();
+
+        // Simulate an interrupted save: one shard file missing, one torn.
+        fs::remove_file(dir.join(shard_file_name(1))).unwrap();
+        let torn = dir.join(shard_file_name(2));
+        let len = fs::metadata(&torn).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&torn).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        assert!(ShardStore::open(&dir).unwrap().load().is_err());
+
+        // Re-running the save repairs exactly the damage.
+        save_sharded(&sg, &dir).unwrap();
+        assert_eq!(ShardStore::open(&dir).unwrap().load().unwrap(), sg);
+
+        // Atomic writes must leave no temporary siblings behind.
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_string_lossy().into_owned();
+            assert!(!name.ends_with(".tmp"), "stray temp file {name}");
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

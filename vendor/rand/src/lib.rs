@@ -199,6 +199,29 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Returns the generator's internal xoshiro256\*\* state, for
+        /// checkpointing. [`StdRng::from_state`] rebuilds a generator that
+        /// continues the exact same stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro256\*\* cannot leave
+        /// (and which [`StdRng::state`] therefore never returns).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "the all-zero state is not a valid xoshiro256** state"
+            );
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256** by Blackman & Vigna (public domain reference).
@@ -229,6 +252,24 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(43);
         assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero state")]
+    fn all_zero_state_is_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 
     #[test]
