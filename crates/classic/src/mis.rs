@@ -321,6 +321,13 @@ pub mod parallel_greedy {
     ///   with (normally its participating neighbours in `graph`).
     ///
     /// Returns the per-node MIS membership and the execution report.
+    ///
+    /// The nested lists are flattened into one CSR arena and run through
+    /// [`run_arena`] — the former duplicate nested runtime folded into the
+    /// arena one (the automaton is generic over its active-list storage, so
+    /// the outputs are unchanged). [`super::luby::run_restricted_nested`] is
+    /// the one genuinely nested stage runtime retained as a differential
+    /// oracle.
     pub fn run(
         graph: &Graph,
         ids: &IdAssignment,
@@ -330,29 +337,9 @@ pub mod parallel_greedy {
         active: &[Vec<NodeId>],
         config: SyncConfig,
     ) -> (Vec<bool>, ExecutionReport) {
-        assert_eq!(participating.len(), graph.num_nodes());
-        assert_eq!(ranks.len(), graph.num_nodes());
         assert_eq!(active.len(), graph.num_nodes());
-        let sim = SyncSimulator::new(graph, ids, level);
-        let report = sim.run(config, |init| {
-            let i = init.node.index();
-            Node {
-                state: if participating[i] {
-                    State::Undecided
-                } else {
-                    State::NotParticipating
-                },
-                rank: ranks[i],
-                active: active[i].clone(),
-            }
-        });
-        assert!(report.completed, "parallel greedy MIS did not terminate");
-        let membership = report
-            .outputs
-            .iter()
-            .map(|o| o.expect("participants decided") == 1)
-            .collect();
-        (membership, report)
+        let arena = AdjacencyArena::from_rows(active);
+        run_arena(graph, ids, level, participating, ranks, &arena, config)
     }
 
     /// Like [`run`], with the active lists in one flat CSR arena instead of
@@ -723,7 +710,34 @@ pub mod luby {
 
     /// Runs Luby's algorithm restricted to the nodes with
     /// `participating[v] = true`, communicating over the `active[v]` lists.
+    ///
+    /// The nested lists are flattened into one CSR arena and run through
+    /// [`run_restricted_arena`] — the former duplicate nested runtime folded
+    /// into the arena one (the automaton is generic over its active-list
+    /// storage, so the outputs are unchanged). The genuinely nested runtime
+    /// survives as [`run_restricted_nested`], the one retained differential
+    /// oracle.
     pub fn run_restricted(
+        graph: &Graph,
+        ids: &IdAssignment,
+        level: KtLevel,
+        participating: &[bool],
+        active: &[Vec<NodeId>],
+        seed: u64,
+        config: SyncConfig,
+    ) -> (Vec<bool>, ExecutionReport) {
+        assert_eq!(active.len(), graph.num_nodes());
+        let arena = AdjacencyArena::from_rows(active);
+        run_restricted_arena(graph, ids, level, participating, &arena, seed, config)
+    }
+
+    /// The retained **nested** stage runtime: per-node `Vec` active lists
+    /// cloned into each automaton, exactly the pre-fold [`run_restricted`]
+    /// body. Kept as the one classic-MIS differential oracle — Algorithm 3's
+    /// `StagePipeline::Nested` runs its Luby stage through it, and the
+    /// `stage_flat_equivalence` suite asserts that path stays bit-identical
+    /// to [`run_restricted_arena`] on equivalent lists.
+    pub fn run_restricted_nested(
         graph: &Graph,
         ids: &IdAssignment,
         level: KtLevel,

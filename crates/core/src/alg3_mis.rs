@@ -213,7 +213,9 @@ pub fn run<R: Rng + ?Sized>(
     // Step 2b: parallel randomized greedy MIS on G[S]. The active lists are
     // the S-neighbours each node just learned about — on the flat pipeline
     // one CSR arena built in a single pass over the graph's rows, on the
-    // nested baseline one Vec per node.
+    // nested baseline one Vec per node (flattened inside `run` since the
+    // nested greedy runtime folded into the arena one; only Luby retains a
+    // genuinely nested oracle, exercised in step 5).
     let (greedy_mis, report) = match config.pipeline {
         StagePipeline::Flat => {
             let s_neighbors = AdjacencyArena::from_filtered(graph, |v, u| {
@@ -306,7 +308,7 @@ pub fn run<R: Rng + ?Sized>(
                 })
                 .collect();
             let max_deg = remnant_neighbors.iter().map(Vec::len).max().unwrap_or(0);
-            let out = symbreak_classic::mis::luby::run_restricted(
+            let out = symbreak_classic::mis::luby::run_restricted_nested(
                 graph,
                 ids,
                 KtLevel::KT2,

@@ -15,6 +15,9 @@
 //!   (Theorem 4.1).
 //! * [`partition`] — the Chang et al. vertex/palette partition evaluated
 //!   from shared randomness with Θ(log n)-wise independence (Lemma 3.1).
+//! * [`repair`] — incremental repair after edge churn: dirty-frontier
+//!   extraction, frontier-induced subgraphs re-entering the flat stage
+//!   pipeline, and the generation-keyed [`ChurnSession`] caches.
 //! * [`stage_flat`] — the flat stage pipeline (arena-backed stage specs,
 //!   bitset palettes, borrow-threaded stage runtime) the algorithms run on
 //!   by default; the nested-`Vec` pipeline in [`query_coloring`] is retained
@@ -50,6 +53,7 @@ mod error;
 pub mod experiments;
 pub mod partition;
 pub mod query_coloring;
+pub mod repair;
 pub mod report;
 pub mod stage_flat;
 
@@ -57,5 +61,6 @@ pub use alg1_coloring::{Alg1Config, ColoringOutcome};
 pub use alg2_coloring::{Alg2Config, Alg2Outcome};
 pub use alg3_mis::{Alg3Config, MisOutcome};
 pub use error::CoreError;
+pub use repair::{ChurnSession, ColoringRepairDriver, MisRepairDriver, RepairReport};
 pub use report::{MeasurementRow, MeasurementTable};
 pub use stage_flat::{FlatStageSpec, StagePipeline};

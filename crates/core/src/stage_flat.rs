@@ -156,6 +156,42 @@ impl<'a> FlatStageSpec<'a> {
         }
     }
 
+    /// Builds the repair-stage spec of the churn pipeline
+    /// ([`crate::repair`]): the dirty frontier re-enters the stage as a
+    /// frontier-induced subgraph whose nodes carry caller-computed list
+    /// palettes (the colours of their clean neighbours in the full graph
+    /// already excluded), active towards their fellow frontier nodes.
+    ///
+    /// `palettes` lists must be sorted ascending and duplicate-free (checked
+    /// in debug builds), exactly like the nested builders' lists, so the
+    /// stage draws the same colours as an equivalent nested spec would.
+    pub fn for_repair(
+        graph: &Graph,
+        colors: &'a [Option<u64>],
+        palettes: &[Vec<u64>],
+        plan: Arc<QueryPlan>,
+        phase_limit: usize,
+    ) -> Self {
+        let n = graph.num_nodes();
+        assert_eq!(colors.len(), n);
+        assert_eq!(palettes.len(), n);
+        debug_assert!(palettes
+            .iter()
+            .all(|list| list.windows(2).all(|w| w[0] < w[1])));
+        let participating: Vec<bool> = colors.iter().map(Option::is_none).collect();
+        let active = AdjacencyArena::from_filtered(graph, |v, u| {
+            participating[v.index()] && participating[u.index()]
+        });
+        FlatStageSpec {
+            participating,
+            palettes: PaletteBitsets::from_lists(palettes),
+            active,
+            existing_colors: colors,
+            plan,
+            phase_limit,
+        }
+    }
+
     /// Flattens a nested [`StageSpec`] (differential suite and bench
     /// baseline interleave). Palette lists must be sorted ascending and
     /// duplicate-free for the two runtimes to be bit-identical — every

@@ -53,6 +53,28 @@ impl AdjacencyArena {
         AdjacencyArena { offsets, targets }
     }
 
+    /// Builds the arena from a [`crate::GraphOverlay`]'s merged adjacency:
+    /// the per-node insert/delete deltas are consulted before the flat base
+    /// arrays (one sorted merge per row), keeping the neighbours `u` of each
+    /// node `v` for which `keep(v, u)` returns `true`. Rows stay sorted
+    /// ascending, so the result is bit-identical to
+    /// [`AdjacencyArena::from_filtered`] on a fresh CSR build of the mutated
+    /// edge list.
+    pub fn from_overlay_filtered<P>(overlay: &crate::GraphOverlay, mut keep: P) -> Self
+    where
+        P: FnMut(NodeId, NodeId) -> bool,
+    {
+        let n = overlay.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * overlay.num_edges());
+        offsets.push(0u32);
+        for v in (0..n as u32).map(NodeId) {
+            targets.extend(overlay.neighbors(v).filter(|&u| keep(v, u)));
+            offsets.push(targets.len() as u32);
+        }
+        AdjacencyArena { offsets, targets }
+    }
+
     /// Flattens prebuilt per-node rows (used when converting a nested
     /// `Vec<Vec<NodeId>>` spec into its flat equivalent).
     pub fn from_rows(rows: &[Vec<NodeId>]) -> Self {
@@ -126,6 +148,22 @@ mod tests {
             arena.total_len(),
             g.nodes().map(|v| arena.row_len(v)).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn from_overlay_filtered_matches_fresh_csr_build() {
+        let mut ov = crate::GraphOverlay::new(generators::cycle(6));
+        ov.insert_edge(NodeId(0), NodeId(3));
+        ov.delete_edge(NodeId(1), NodeId(2));
+        let fresh = {
+            let mut b = crate::GraphBuilder::new(6);
+            b.add_edges(ov.edge_list());
+            b.build()
+        };
+        let keep_odd = |_, u: NodeId| u.0 % 2 == 1;
+        let from_overlay = AdjacencyArena::from_overlay_filtered(&ov, keep_odd);
+        let from_fresh = AdjacencyArena::from_filtered(&fresh, keep_odd);
+        assert_eq!(from_overlay, from_fresh);
     }
 
     #[test]

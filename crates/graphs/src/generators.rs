@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use crate::{Graph, GraphBuilder, NodeId};
+use crate::{ChurnBatch, Graph, GraphBuilder, NodeId};
 
 /// Graph with `n` nodes and no edges.
 pub fn empty(n: usize) -> Graph {
@@ -353,6 +353,109 @@ pub fn bounded_arboricity<R: Rng + ?Sized>(n: usize, a: usize, rng: &mut R) -> G
     b.build()
 }
 
+/// Seed-reproducible edge-churn stream against a mutating graph.
+///
+/// The stream mirrors the live edge set of the graph it was created from
+/// and emits [`ChurnBatch`]es of random deletions (drawn uniformly from the
+/// live edges) and insertions (rejection-sampled uniformly from the absent
+/// pairs). Every emitted batch is applied to the mirror, so consecutive
+/// batches are consistent as long as the caller applies each one to its
+/// [`crate::GraphOverlay`] — the usual loop is
+/// `overlay.apply(&stream.next_batch(d, i))`.
+///
+/// Determinism: the sequence of batches is a pure function of the starting
+/// edge set and the seed, independent of thread count or compaction points
+/// (the stream never looks at the overlay).
+///
+/// # Example
+///
+/// ```
+/// use symbreak_graphs::{generators, GraphOverlay};
+///
+/// let g = generators::cycle(10);
+/// let mut overlay = GraphOverlay::new(g.clone());
+/// let mut stream = generators::ChurnStream::new(&g, 42);
+/// let batch = stream.next_batch(2, 2);
+/// let (deleted, inserted) = overlay.apply(&batch);
+/// assert_eq!((deleted, inserted), (2, 2));
+/// assert_eq!(overlay.num_edges(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnStream {
+    n: usize,
+    rng: rand::rngs::StdRng,
+    /// Mirror of the live edge set, `u < v`, unordered (indexable for
+    /// uniform deletion draws).
+    edges: Vec<(NodeId, NodeId)>,
+    /// Membership companion of `edges`.
+    present: std::collections::BTreeSet<(NodeId, NodeId)>,
+}
+
+impl ChurnStream {
+    /// Creates a stream over `graph`'s current edge set, seeded with `seed`.
+    pub fn new(graph: &Graph, seed: u64) -> Self {
+        use rand::SeedableRng;
+        let edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(_, u, v)| (u, v)).collect();
+        let present = edges.iter().copied().collect();
+        ChurnStream {
+            n: graph.num_nodes(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0xc4ce_b9fe_1a85_ec53),
+            edges,
+            present,
+        }
+    }
+
+    /// Number of live edges in the stream's mirror.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Draws the next batch: `deletes` uniform deletions of live edges
+    /// followed by `inserts` uniform insertions of absent pairs, and applies
+    /// both to the internal mirror. Fewer operations are emitted when the
+    /// graph runs out of live edges (deletions) or absent pairs
+    /// (insertions).
+    pub fn next_batch(&mut self, deletes: usize, inserts: usize) -> ChurnBatch {
+        let mut batch = ChurnBatch::default();
+        for _ in 0..deletes {
+            if self.edges.is_empty() {
+                break;
+            }
+            let i = self.rng.gen_range(0..self.edges.len());
+            let e = self.edges.swap_remove(i);
+            self.present.remove(&e);
+            batch.deletes.push(e);
+        }
+        let max_edges = self.n * self.n.saturating_sub(1) / 2;
+        for _ in 0..inserts {
+            if self.n < 2 || self.edges.len() >= max_edges {
+                break;
+            }
+            // Rejection-sample an absent pair; density is bounded away from
+            // complete in every churn workload, so this terminates fast.
+            let e = loop {
+                let a = self.rng.gen_range(0..self.n as u32);
+                let b = self.rng.gen_range(0..self.n as u32);
+                if a == b {
+                    continue;
+                }
+                let key = if a < b {
+                    (NodeId(a), NodeId(b))
+                } else {
+                    (NodeId(b), NodeId(a))
+                };
+                if !self.present.contains(&key) {
+                    break key;
+                }
+            };
+            self.present.insert(e);
+            self.edges.push(e);
+            batch.inserts.push(e);
+        }
+        batch
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,5 +688,53 @@ mod tests {
     fn bounded_arboricity_rejects_zero_bound() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = bounded_arboricity(10, 0, &mut rng);
+    }
+
+    #[test]
+    fn churn_stream_is_seed_reproducible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = gnp(40, 0.1, &mut rng);
+        let mut a = ChurnStream::new(&g, 99);
+        let mut b = ChurnStream::new(&g, 99);
+        for _ in 0..10 {
+            assert_eq!(a.next_batch(3, 3), b.next_batch(3, 3));
+        }
+        let mut c = ChurnStream::new(&g, 100);
+        let differs = (0..10).any(|_| a.next_batch(3, 3) != c.next_batch(3, 3));
+        assert!(differs, "different seeds should diverge");
+    }
+
+    #[test]
+    fn churn_stream_batches_apply_cleanly_to_an_overlay() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = gnp(30, 0.15, &mut rng);
+        let mut overlay = crate::GraphOverlay::new(g.clone());
+        let mut stream = ChurnStream::new(&g, 5);
+        for round in 0..20 {
+            let batch = stream.next_batch(2, 3);
+            let (deleted, inserted) = overlay.apply(&batch);
+            // The stream's mirror guarantees every emitted op is effective.
+            assert_eq!(deleted, batch.deletes.len(), "round {round}");
+            assert_eq!(inserted, batch.inserts.len(), "round {round}");
+            assert_eq!(overlay.num_edges(), stream.num_edges(), "round {round}");
+            if round == 10 {
+                overlay.compact();
+            }
+        }
+    }
+
+    #[test]
+    fn churn_stream_respects_exhaustion() {
+        // Deleting more edges than exist and inserting into a clique both
+        // truncate rather than loop forever.
+        let g = clique(4);
+        let mut stream = ChurnStream::new(&g, 1);
+        let batch = stream.next_batch(100, 5);
+        assert_eq!(batch.deletes.len(), 6);
+        assert!(batch.inserts.len() <= 5);
+        let g2 = clique(4);
+        let mut full = ChurnStream::new(&g2, 2);
+        let batch = full.next_batch(0, 3);
+        assert!(batch.inserts.is_empty(), "clique has no absent pairs");
     }
 }

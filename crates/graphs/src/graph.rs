@@ -145,6 +145,13 @@ impl Graph {
         &self.targets[lo..hi]
     }
 
+    /// The CSR row of `v`, exposed to the overlay's merge iterator so the
+    /// delta lists can be merged against the flat arrays without copying.
+    #[inline]
+    pub(crate) fn neighbor_slice(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        self.row(v)
+    }
+
     /// Number of nodes `n`.
     #[inline]
     pub fn num_nodes(&self) -> usize {

@@ -10,6 +10,10 @@
 //! * [`arena`] — flat CSR-style [`AdjacencyArena`]s for derived neighbour
 //!   lists (stage active lists, sampled-subgraph adjacency), built in one
 //!   pass over the graph's own CSR rows.
+//! * [`overlay`] — [`overlay::GraphOverlay`]: a mutable adjacency overlay
+//!   on the CSR (per-node insert/delete delta lists consulted before the
+//!   flat arrays, with periodic compaction into a clean CSR) — the
+//!   substrate of the dynamic-graph churn workload.
 //! * [`generators`] — the graph families used by the paper's evaluation:
 //!   Erdős–Rényi `G(n, p)`, complete bipartite graphs, cycles, cliques,
 //!   paths, stars, disjoint unions, preferential-attachment power-law
@@ -51,6 +55,7 @@ mod graph;
 
 pub mod generators;
 pub mod ids;
+pub mod overlay;
 pub mod properties;
 pub mod sharded;
 pub mod storage;
@@ -60,3 +65,4 @@ pub use arena::AdjacencyArena;
 pub use builder::GraphBuilder;
 pub use graph::{EdgeId, Graph, NodeId};
 pub use ids::{IdAssignment, IdSpace};
+pub use overlay::{ChurnBatch, GraphOverlay};

@@ -229,3 +229,143 @@ fn crossed_family_preserves_degrees_for_every_crossing() {
         }
     }
 }
+
+#[test]
+fn churn_repair_survives_random_streams() {
+    // Random insert/delete streams against full recompute: after every
+    // batch the repaired colouring and MIS must be valid on a graph built
+    // from scratch on the mutated edge list.
+    use symbreak::core::repair::{ChurnSession, ColoringRepairDriver, MisRepairDriver};
+    use symbreak::graphs::generators::ChurnStream;
+    for i in 0..CASES {
+        let seed = case_seed(0xc4c4, i);
+        let graph = arb_connected_graph(30, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc4c4);
+        let ids = IdAssignment::random(&graph, IdSpace::CUBIC, &mut rng);
+        let mut session = ChurnSession::new(graph.clone(), ids, SyncConfig::default());
+        let (mut colors, _) = session.recompute_coloring(seed ^ 1);
+        let (mut in_set, _) = session.recompute_mis(seed ^ 2);
+        let mut stream = ChurnStream::new(&graph, seed ^ 3);
+        for step in 0..8u64 {
+            let deletes = rng.gen_range(0..4);
+            let inserts = rng.gen_range(0..4);
+            let batch = stream.next_batch(deletes, inserts);
+            session.apply(&batch);
+            let coloring_driver = if step % 2 == 0 {
+                ColoringRepairDriver::Johansson
+            } else {
+                ColoringRepairDriver::QueryStage
+            };
+            let mis_driver = if step % 2 == 0 {
+                MisRepairDriver::Luby
+            } else {
+                MisRepairDriver::Greedy
+            };
+            session.repair_coloring(&batch, &mut colors, coloring_driver, seed ^ (step << 8));
+            session.repair_mis(&batch, &mut in_set, mis_driver, seed ^ (step << 16));
+            let current = session.overlay().materialize();
+            assert!(
+                coloring::verify::is_proper_coloring(&current, &colors),
+                "improper colouring for seed {seed} step {step}"
+            );
+            assert!(
+                mis::verify::is_mis(&current, &in_set),
+                "broken MIS for seed {seed} step {step}"
+            );
+        }
+    }
+}
+
+#[test]
+fn churn_repair_handles_degenerate_batches() {
+    // The degenerate churn cases: duplicate inserts in one batch, deleting
+    // absent edges, isolating a node, and deleting + re-inserting the same
+    // edge in one batch. All must leave the overlay bit-identical to a
+    // fresh build and the repaired outputs valid.
+    use symbreak::core::repair::{ChurnSession, ColoringRepairDriver, MisRepairDriver};
+    use symbreak::graphs::{ChurnBatch, GraphBuilder};
+    for i in 0..CASES {
+        let seed = case_seed(0xde6e, i);
+        let graph = arb_connected_graph(24, seed);
+        let n = graph.num_nodes();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xde6e);
+        let ids = IdAssignment::random(&graph, IdSpace::CUBIC, &mut rng);
+        let mut session = ChurnSession::new(graph.clone(), ids, SyncConfig::default());
+        let (mut colors, _) = session.recompute_coloring(seed ^ 1);
+        let (mut in_set, _) = session.recompute_mis(seed ^ 2);
+
+        // A non-edge (u, v) to insert twice in the same batch, plus an
+        // absent edge to delete.
+        let non_edge = (0..n as u32)
+            .flat_map(|u| (u + 1..n as u32).map(move |v| (NodeId(u), NodeId(v))))
+            .find(|&(u, v)| !graph.has_edge(u, v));
+        // The victim node to isolate, and an existing edge to delete and
+        // re-insert within one batch.
+        let victim = NodeId(rng.gen_range(0..n as u32));
+        let (_, eu, ev) = graph.edges().next().expect("connected graph has edges");
+
+        let mut batches = vec![ChurnBatch {
+            deletes: vec![(eu, ev)],
+            inserts: vec![(eu, ev)], // net no-op: deleted then re-inserted
+        }];
+        if let Some((u, v)) = non_edge {
+            batches.push(ChurnBatch {
+                inserts: vec![(u, v), (u, v), (v, u)], // duplicates collapse
+                deletes: vec![(u, v)],                 // applied first: absent, no-op
+            });
+        }
+        // The isolation batch severs whatever the victim's *current* edges
+        // are at application time, so it goes last and is built lazily.
+        batches.push(ChurnBatch::default());
+
+        let last = batches.len() - 1;
+        for (k, batch) in batches.iter_mut().enumerate() {
+            if k == last {
+                batch.deletes = session
+                    .overlay()
+                    .neighbor_vec(victim)
+                    .into_iter()
+                    .map(|u| (victim, u))
+                    .collect();
+            }
+            let batch = &*batch;
+            session.apply(batch);
+            session.repair_coloring(
+                batch,
+                &mut colors,
+                ColoringRepairDriver::Johansson,
+                seed ^ (k as u64) << 8,
+            );
+            session.repair_mis(
+                batch,
+                &mut in_set,
+                MisRepairDriver::Luby,
+                seed ^ (k as u64) << 16,
+            );
+            let mut builder = GraphBuilder::new(n);
+            builder.add_edges(session.overlay().edge_list());
+            let fresh = builder.build();
+            for v in fresh.nodes() {
+                assert_eq!(
+                    session.overlay().neighbor_vec(v),
+                    fresh.neighbor_vec(v),
+                    "overlay row {v} drifted for seed {seed} batch {k}"
+                );
+            }
+            assert!(
+                coloring::verify::is_proper_coloring(&fresh, &colors),
+                "improper colouring for seed {seed} batch {k}"
+            );
+            assert!(
+                mis::verify::is_mis(&fresh, &in_set),
+                "broken MIS for seed {seed} batch {k}"
+            );
+        }
+        // The isolated node has no neighbours left, so maximality forces it
+        // into the repaired set.
+        assert!(
+            in_set[victim.index()],
+            "isolated node outside the MIS for seed {seed}"
+        );
+    }
+}
