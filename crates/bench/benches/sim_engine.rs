@@ -43,7 +43,10 @@
 //! adversarial ~n/2-round cycle flood, where thousands of boundaries land
 //! on near-zero per-round work. A **fault-seam row** (`async_fault0`)
 //! gates the identity-plan fault path at ≥ 0.9× of the plain asynchronous
-//! executor.
+//! executor. An **audit row** (`flood_audit0`) gates the audit-off engine
+//! at ≥ 0.95× of the direct observer path — the const-`AUDIT`
+//! monomorphization must stay free — and reports the collect-mode
+//! audit-on cost with the report asserted bit-identical and violation-free.
 //!
 //! Set `SIM_ENGINE_SMOKE=1` to run a reduced-n regression smoke (used by
 //! CI): the same workloads and asserts at a fraction of the size, with no
@@ -58,8 +61,8 @@ use symbreak_congest::async_sim::{AsyncConfig, AsyncSimulator};
 use symbreak_congest::reference::NaiveSyncSimulator;
 use symbreak_congest::trace_store::MmapTraceObserver;
 use symbreak_congest::{
-    CheckpointChain, CheckpointConfig, ExecutionReport, FaultPlan, KtLevel, Message, NodeAlgorithm,
-    NodeInit, PersistState, RoundContext, SyncConfig, SyncSimulator,
+    AuditConfig, CheckpointChain, CheckpointConfig, ExecutionReport, FaultPlan, KtLevel, Message,
+    NodeAlgorithm, NodeInit, NoopObserver, PersistState, RoundContext, SyncConfig, SyncSimulator,
 };
 use symbreak_graphs::{generators, Graph, IdAssignment, NodeId};
 
@@ -460,6 +463,7 @@ fn compare_engines() {
     trace_row(&mut json);
     fault_seam_row(&mut json);
     checkpoint_row(&mut json);
+    audit_row(&mut json, mt_threads);
     if cores >= 4 {
         let ratio = mt_flood_ratio.expect("flood@random_d8_100000 must have run multi-threaded");
         // Only the full-size run is a fair test of parallel stepping: at
@@ -621,6 +625,94 @@ fn fault_seam_row(json: &mut Option<std::fs::File>) {
              async path (seam {:.2}ms vs {:.2}ms)",
             seam_ns / 1e6,
             plain_ns / 1e6
+        );
+    }
+}
+
+/// The audit row (`flood_audit0`): the flood on the n = 10⁵ near-regular
+/// random graph through the three faces of the audit seam, multi-threaded
+/// so the const-`AUDIT` plumbing in the parallel loop is what's priced:
+///
+/// * **audit-off** — `run()` with `CONGEST_AUDIT` unset: the production
+///   path, whose round loop is the `AUDIT = false` monomorphization (the
+///   pre-audit engine, bit for bit, plus one env read per run);
+/// * **direct** — `run_observed` with a [`NoopObserver`]: the same
+///   `AUDIT = false` loop entered without the audit-enable check. Gated:
+///   audit-off must stay ≥ 0.95× of this at full size (informational at
+///   smoke scale) — the monomorphized seam must stay free. Interleaved,
+///   like the shards = 1 gate, so clock drift cannot fail a ratio between
+///   near-identical code paths;
+/// * **audit-on** — `run_audited` in collect mode: the `AUDIT = true`
+///   loop, workers logging every send for deterministic replay through the
+///   bandwidth/adjacency/multiplicity/race checks. Reported, not gated —
+///   per-message replay has a real price — with the report asserted
+///   bit-identical to the plain run and zero violations.
+fn audit_row(json: &mut Option<std::fs::File>, mt_threads: usize) {
+    use std::io::Write;
+
+    let shrink = if smoke() { 16 } else { 1 };
+    let n = 100_000 / shrink;
+    let graph = generators::random_near_regular(n, 8, &mut StdRng::seed_from_u64(42));
+    let ids = IdAssignment::identity(n);
+    let sim = SyncSimulator::new(&graph, &ids, KtLevel::KT1);
+    let config = SyncConfig::default().with_threads(mt_threads);
+    let audit = AuditConfig::collect(42);
+
+    let (mut off_ns, mut direct_ns, mut on_ns) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let mut messages = 0;
+    for _ in 0..7 {
+        let t = Instant::now();
+        let off = sim.run(config, |_| Flood::new());
+        off_ns = off_ns.min(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        let direct = sim.run_observed(config, |_| Flood::new(), &mut NoopObserver);
+        direct_ns = direct_ns.min(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        let (audited, violations) = sim.run_audited(config, &audit, |_| Flood::new());
+        on_ns = on_ns.min(t.elapsed().as_nanos() as f64);
+        assert!(off.completed);
+        assert_eq!(off, direct);
+        assert_eq!(off, audited, "audited report must be bit-identical");
+        assert!(violations.is_empty(), "the flood is model-compliant");
+        messages = off.messages;
+    }
+    let seam_ratio = direct_ns / off_ns;
+    let audit_on_ratio = off_ns / on_ns;
+    println!(
+        "{:<22} {:<13} {:>3} {:>3} {:>12} {:>12.2}ms {:>12.2}ms {:>8.2}x",
+        format!("random_d8_{n}"),
+        "flood_audit0",
+        mt_threads,
+        0,
+        messages,
+        off_ns / 1e6,
+        on_ns / 1e6,
+        audit_on_ratio,
+    );
+    if let Some(f) = json.as_mut() {
+        let _ = writeln!(
+            f,
+            "{{\"bench\":\"sim_engine\",\"graph\":\"random_d8_{n}\",\"workload\":\"flood_audit0\",\
+             \"n\":{n},\"m\":{},\"threads\":{mt_threads},\"shards\":0,\"messages\":{messages},\
+             \"off_ns\":{off_ns:.0},\"direct_ns\":{direct_ns:.0},\"on_ns\":{on_ns:.0},\
+             \"seam_ratio\":{seam_ratio:.3},\"audit_on_ratio\":{audit_on_ratio:.3}}}",
+            graph.num_edges(),
+        );
+    }
+    if smoke() {
+        if seam_ratio < 0.95 {
+            println!(
+                "smoke: audit-off engine at {seam_ratio:.2}x of the direct observer path \
+                 (informational only at reduced n)"
+            );
+        }
+    } else {
+        assert!(
+            seam_ratio >= 0.95,
+            "audit-seam regression: the audit-off run() path is {seam_ratio:.2}x the direct \
+             observer path (off {:.2}ms vs {:.2}ms) — the monomorphized seam must stay free",
+            off_ns / 1e6,
+            direct_ns / 1e6
         );
     }
 }

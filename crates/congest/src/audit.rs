@@ -1,0 +1,434 @@
+//! Runtime CONGEST-model compliance auditing.
+//!
+//! The simulator's correctness story so far is *differential* — every loop
+//! is bit-identical to the naive reference. This module adds the orthogonal
+//! *model-compliance* check: an [`Auditor`] that re-derives, per round, the
+//! constraints the CONGEST model imposes on a legal execution and flags any
+//! step that escapes them:
+//!
+//! * **Bandwidth** — a message's model size (16-bit tag plus one
+//!   `w = ⌈log₂ n⌉`-bit word per ID/value field) must fit the per-edge
+//!   budget `B = c·w` bits ([`AuditConfig::budget_c`], default
+//!   [`DEFAULT_BUDGET_C`]).
+//! * **Adjacency** — every message must travel on an edge of the input
+//!   graph.
+//! * **Multiplicity** — at most one message per edge *per direction* per
+//!   round.
+//! * **Shard windows** — the parallel loops' per-worker write windows must
+//!   be pairwise disjoint within a round (the race-freedom invariant behind
+//!   the bit-identical merge).
+//! * **Inbox disjointness** — after a delivery flip, no two nodes' inbox
+//!   ranges may alias the same arena slots.
+//!
+//! Violations carry full provenance — `(round, edge, lane, shard)` plus the
+//! caller's replay seed — and either abort immediately
+//! ([`AuditConfig::deny`], the `CONGEST_AUDIT=1` mode CI runs whole suites
+//! under) or accumulate for inspection ([`Auditor::finish`]).
+//!
+//! Wiring: the sequential loop audits through the ordinary
+//! [`crate::RoundObserver`] seam (the [`Auditor`] *is* an observer); the
+//! parallel and sharded loops are monomorphized over `const AUDIT: bool` —
+//! when on, each worker logs `(from, to, message)` triples that the main
+//! thread replays in deterministic shard order, exactly like the
+//! fault-injection and capture seams. When off, the logging branch compiles
+//! out and the fast paths are unchanged.
+
+use std::fmt;
+
+use symbreak_graphs::{EdgeId, Graph, NodeId};
+
+use crate::engine::{MessageArena, RoundObserver};
+use crate::Message;
+
+/// Environment variable enabling deny-mode auditing on every
+/// [`crate::SyncSimulator::run`] / [`crate::BatchSimulator`] run
+/// (`CONGEST_AUDIT=1`; empty or `0` disables). Instrumented runs
+/// (trace / utilization / per-edge) keep their dedicated sequential
+/// observer and are not audited.
+pub const AUDIT_ENV: &str = "CONGEST_AUDIT";
+
+/// Environment variable overriding the bandwidth budget multiplier `c`
+/// of env-driven audits (`B = c·⌈log₂ n⌉` bits; default
+/// [`DEFAULT_BUDGET_C`]).
+pub const AUDIT_BUDGET_ENV: &str = "CONGEST_AUDIT_C";
+
+/// Default bandwidth budget multiplier: `B = 24·⌈log₂ n⌉` bits. Generous
+/// enough that every `O(log n)`-bit message of the shipped algorithms
+/// passes structurally (a full message is `16 + 5w ≤ 24w` bits for every
+/// `w ≥ 1`), tight enough to catch anything super-logarithmic.
+pub const DEFAULT_BUDGET_C: u32 = 24;
+
+/// Whether `CONGEST_AUDIT` requests env-driven (deny-mode) auditing.
+pub fn audit_enabled() -> bool {
+    std::env::var(AUDIT_ENV)
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Configuration of an audited run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Bandwidth budget multiplier: a message may carry at most
+    /// `budget_c · ⌈log₂ n⌉` bits under the audit's model accounting.
+    pub budget_c: u32,
+    /// Deny mode: panic on the first violation (with full provenance)
+    /// instead of accumulating it. This is what `CONGEST_AUDIT=1` runs use,
+    /// so a green suite certifies zero violations.
+    pub deny: bool,
+    /// The caller's replay seed, stamped into every violation so a finding
+    /// can be reproduced outside the audited run.
+    pub seed: u64,
+    /// The batch lane this audit covers (0 for plain runs), stamped into
+    /// every violation.
+    pub lane: usize,
+}
+
+impl AuditConfig {
+    /// Collect mode: violations accumulate and are returned by
+    /// [`Auditor::finish`] / [`crate::SyncSimulator::run_audited`].
+    pub fn collect(seed: u64) -> Self {
+        AuditConfig {
+            budget_c: DEFAULT_BUDGET_C,
+            deny: false,
+            seed,
+            lane: 0,
+        }
+    }
+
+    /// Deny mode: the first violation panics with full provenance.
+    pub fn deny(seed: u64) -> Self {
+        AuditConfig {
+            deny: true,
+            ..Self::collect(seed)
+        }
+    }
+
+    /// The env-driven configuration `CONGEST_AUDIT=1` runs use: deny mode,
+    /// budget multiplier from `CONGEST_AUDIT_C` (default
+    /// [`DEFAULT_BUDGET_C`]).
+    pub fn from_env() -> Self {
+        let budget_c = std::env::var(AUDIT_BUDGET_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_BUDGET_C);
+        AuditConfig {
+            budget_c,
+            ..Self::deny(0)
+        }
+    }
+
+    /// Overrides the bandwidth budget multiplier.
+    pub fn with_budget(mut self, budget_c: u32) -> Self {
+        self.budget_c = budget_c;
+        self
+    }
+
+    /// Stamps violations with a batch lane.
+    pub fn with_lane(mut self, lane: usize) -> Self {
+        self.lane = lane;
+        self
+    }
+}
+
+/// What a [`Violation`] violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A message's model size exceeds the per-edge bandwidth budget.
+    Bandwidth {
+        /// The message's size under the audit's model accounting.
+        bits: u32,
+        /// The per-message budget `c·⌈log₂ n⌉` it exceeds.
+        budget: u32,
+    },
+    /// A message addressed to a non-neighbour of its sender.
+    Adjacency,
+    /// More than one message on the same edge in the same direction within
+    /// one round.
+    Multiplicity {
+        /// How many messages this edge-direction has carried this round,
+        /// including the offending one.
+        count: u32,
+    },
+    /// Two workers' write windows of the same round overlap.
+    WindowOverlap {
+        /// The earlier-recorded window's shard.
+        other_shard: usize,
+        /// The earlier-recorded window's node range.
+        other_window: (usize, usize),
+        /// The offending window's node range.
+        window: (usize, usize),
+    },
+    /// Two nodes' delivered inbox ranges alias the same arena slots.
+    InboxOverlap {
+        /// The first aliasing node.
+        a: NodeId,
+        /// The second aliasing node.
+        b: NodeId,
+    },
+}
+
+/// One CONGEST-model violation with full provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// What was violated.
+    pub kind: ViolationKind,
+    /// The round the violation occurred in.
+    pub round: u64,
+    /// The sending node, when the violation concerns a message.
+    pub from: Option<NodeId>,
+    /// The receiving node, when the violation concerns a message.
+    pub to: Option<NodeId>,
+    /// The graph edge involved (`None` for adjacency violations — there is
+    /// no such edge — and for window/inbox findings).
+    pub edge: Option<EdgeId>,
+    /// The batch lane ([`AuditConfig::lane`]).
+    pub lane: usize,
+    /// The worker shard whose replayed log raised the finding (`None` on
+    /// the sequential loop).
+    pub shard: Option<usize>,
+    /// The caller's replay seed ([`AuditConfig::seed`]).
+    pub seed: u64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CONGEST audit violation: ")?;
+        match self.kind {
+            ViolationKind::Bandwidth { bits, budget } => {
+                write!(f, "message of {bits} model bits exceeds the {budget}-bit budget")?;
+            }
+            ViolationKind::Adjacency => write!(f, "send to a non-neighbour")?,
+            ViolationKind::Multiplicity { count } => {
+                write!(f, "edge direction carried {count} messages in one round")?;
+            }
+            ViolationKind::WindowOverlap {
+                other_shard,
+                other_window,
+                window,
+            } => {
+                write!(
+                    f,
+                    "write window {window:?} overlaps shard {other_shard}'s window {other_window:?}"
+                )?;
+            }
+            ViolationKind::InboxOverlap { a, b } => {
+                write!(f, "inbox ranges of nodes {} and {} alias", a.0, b.0)?;
+            }
+        }
+        write!(f, " [round {}", self.round)?;
+        if let (Some(from), Some(to)) = (self.from, self.to) {
+            write!(f, ", {} -> {}", from.0, to.0)?;
+        }
+        if let Some(edge) = self.edge {
+            write!(f, ", edge {}", edge.index())?;
+        }
+        write!(f, ", lane {}", self.lane)?;
+        if let Some(shard) = self.shard {
+            write!(f, ", shard {shard}")?;
+        }
+        write!(f, ", seed {}]", self.seed)
+    }
+}
+
+/// The runtime compliance checker. See the module docs for the invariants
+/// it enforces and [`crate::SyncSimulator::run_audited`] for the usual way
+/// to engage it; tests may also drive it directly through
+/// [`Auditor::on_send`] / [`Auditor::record_window`] / [`Auditor::end_round`].
+pub struct Auditor<'g> {
+    graph: &'g Graph,
+    cfg: AuditConfig,
+    /// `⌈log₂ max(n, 2)⌉` — the model's word size for this graph.
+    word_bits: u32,
+    /// `budget_c · word_bits`.
+    budget_bits: u32,
+    /// Per-directed-edge message counts for the current round
+    /// (`2·num_edges` slots, slot `2e + (from > to)`).
+    counts: Vec<u8>,
+    /// Slots touched this round (so `end_round` clears in O(touched)).
+    touched: Vec<u32>,
+    /// Write windows recorded this round: `(shard, lo, hi)`.
+    windows: Vec<(usize, usize, usize)>,
+    round: u64,
+    shard: Option<usize>,
+    violations: Vec<Violation>,
+}
+
+impl<'g> Auditor<'g> {
+    /// Creates an auditor for runs over `graph`.
+    pub fn new(graph: &'g Graph, cfg: AuditConfig) -> Self {
+        let n = graph.num_nodes().max(2) as u32;
+        let word_bits = (n - 1).ilog2() + 1;
+        Auditor {
+            graph,
+            cfg,
+            word_bits,
+            budget_bits: cfg.budget_c * word_bits,
+            counts: vec![0; graph.num_edges() * 2],
+            touched: Vec::new(),
+            windows: Vec::new(),
+            round: 0,
+            shard: None,
+            violations: Vec::new(),
+        }
+    }
+
+    /// The per-message bandwidth budget in bits (`c·⌈log₂ n⌉`).
+    pub fn budget_bits(&self) -> u32 {
+        self.budget_bits
+    }
+
+    /// A message's size under the model accounting: a 16-bit tag plus one
+    /// `⌈log₂ n⌉`-bit word per ID/value field. (Distinct from
+    /// [`Message::size_bits`], which charges full 64-bit words — the audit
+    /// asks whether the *information content* fits `O(log n)` bits.)
+    pub fn model_bits(&self, message: &Message) -> u32 {
+        16 + (message.ids().len() + message.values().len()) as u32 * self.word_bits
+    }
+
+    /// Stamps subsequently raised violations with a worker shard (the
+    /// parallel loops set this while replaying each shard's send log).
+    pub fn set_shard(&mut self, shard: Option<usize>) {
+        self.shard = shard;
+    }
+
+    /// Audits one message: adjacency, per-direction multiplicity,
+    /// bandwidth.
+    pub fn on_send(&mut self, from: NodeId, to: NodeId, message: &Message) {
+        let edge = self.graph.edge_between(from, to);
+        match edge {
+            None => self.raise(ViolationKind::Adjacency, Some(from), Some(to), None),
+            Some(edge) => {
+                let slot = edge.index() * 2 + usize::from(from.0 > to.0);
+                if self.counts[slot] == 0 {
+                    self.touched.push(slot as u32);
+                }
+                self.counts[slot] = self.counts[slot].saturating_add(1);
+                if self.counts[slot] > 1 {
+                    let count = u32::from(self.counts[slot]);
+                    self.raise(
+                        ViolationKind::Multiplicity { count },
+                        Some(from),
+                        Some(to),
+                        Some(edge),
+                    );
+                }
+            }
+        }
+        let bits = self.model_bits(message);
+        if bits > self.budget_bits {
+            self.raise(
+                ViolationKind::Bandwidth {
+                    bits,
+                    budget: self.budget_bits,
+                },
+                Some(from),
+                Some(to),
+                edge,
+            );
+        }
+    }
+
+    /// Records one worker's write window `[lo, hi)` for the current round
+    /// and checks it against every window already recorded this round.
+    pub fn record_window(&mut self, shard: usize, lo: usize, hi: usize) {
+        for w in 0..self.windows.len() {
+            let (other_shard, olo, ohi) = self.windows[w];
+            if lo < ohi && olo < hi {
+                self.raise(
+                    ViolationKind::WindowOverlap {
+                        other_shard,
+                        other_window: (olo, ohi),
+                        window: (lo, hi),
+                    },
+                    None,
+                    None,
+                    None,
+                );
+            }
+        }
+        self.windows.push((shard, lo, hi));
+    }
+
+    /// Verifies the flipped arena's inbox ranges are pairwise disjoint.
+    pub(crate) fn check_arena(&mut self, arena: &MessageArena) {
+        if let Some((a, b)) = arena.overlapping_inboxes() {
+            self.raise(
+                ViolationKind::InboxOverlap {
+                    a: NodeId(a),
+                    b: NodeId(b),
+                },
+                None,
+                None,
+                None,
+            );
+        }
+    }
+
+    /// Closes the current round: clears the multiplicity counters and the
+    /// window set, advances the round counter.
+    pub fn end_round(&mut self) {
+        for &slot in &self.touched {
+            self.counts[slot as usize] = 0;
+        }
+        self.touched.clear();
+        self.windows.clear();
+        self.shard = None;
+        self.round += 1;
+    }
+
+    /// The violations accumulated so far (always empty in deny mode).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Consumes the auditor and returns its violations.
+    pub fn finish(self) -> Vec<Violation> {
+        self.violations
+    }
+
+    fn raise(
+        &mut self,
+        kind: ViolationKind,
+        from: Option<NodeId>,
+        to: Option<NodeId>,
+        edge: Option<EdgeId>,
+    ) {
+        let v = Violation {
+            kind,
+            round: self.round,
+            from,
+            to,
+            edge,
+            lane: self.cfg.lane,
+            shard: self.shard,
+            seed: self.cfg.seed,
+        };
+        if self.cfg.deny {
+            panic!("{v}");
+        }
+        self.violations.push(v);
+    }
+}
+
+impl fmt::Debug for Auditor<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Auditor")
+            .field("cfg", &self.cfg)
+            .field("round", &self.round)
+            .field("violations", &self.violations.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The sequential loop audits through the ordinary observer seam: every
+/// validated message and round boundary flows through these callbacks.
+impl RoundObserver for Auditor<'_> {
+    fn on_message(&mut self, from: NodeId, to: NodeId, _edge: EdgeId, message: &Message) {
+        self.on_send(from, to, message);
+    }
+
+    fn on_round_end(&mut self, _round: u64) {
+        self.end_round();
+    }
+}

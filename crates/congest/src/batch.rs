@@ -193,6 +193,24 @@ impl<'g> BatchSimulator<'g> {
                 .map(|k| sim.run(config, |init| make(k, init)))
                 .collect();
         }
+        if crate::audit::audit_enabled() {
+            // `CONGEST_AUDIT=1`: each lane runs through its own deny-mode
+            // audited run with lane provenance — the same per-lane fallback
+            // shape as the instrumented path, bit-identical by the batch
+            // invariant.
+            let sim = SyncSimulator::new(self.graph, self.ids, self.level);
+            let sim = match self.sharded {
+                Some(sg) => sim.with_sharded_graph(sg),
+                None => sim,
+            };
+            let cfg = crate::audit::AuditConfig::from_env();
+            return (0..lanes)
+                .map(|k| {
+                    sim.run_audited(config, &cfg.with_lane(k), |init| make(k, init))
+                        .0
+                })
+                .collect();
+        }
 
         // Resolve the sharded view exactly like `SyncSimulator::run_observed`
         // (single-shard plans are the identity partition and step unsharded).

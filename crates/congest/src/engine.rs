@@ -702,6 +702,27 @@ impl MessageArena {
     pub(crate) fn len(&self) -> usize {
         self.live
     }
+
+    /// Audit support: the first pair of nodes whose current-epoch flat
+    /// inbox ranges overlap, if any. Bucketed epochs hold one owned vector
+    /// per receiver and are structurally disjoint.
+    pub(crate) fn overlapping_inboxes(&self) -> Option<(u32, u32)> {
+        if self.bucketed || self.all_valid {
+            return None;
+        }
+        let mut spans: Vec<(u32, u32, u32)> = (0..self.ranges.len())
+            .filter(|&i| self.stamps[i] == self.epoch)
+            .filter_map(|i| {
+                let (lo, hi) = self.ranges[i];
+                (hi > lo).then_some((lo, hi, i as u32))
+            })
+            .collect();
+        spans.sort_unstable();
+        spans
+            .windows(2)
+            .find(|w| w[1].0 < w[0].1)
+            .map(|w| (w[0].2, w[1].2))
+    }
 }
 
 /// The staging half of the synchronous double buffer: messages accumulate

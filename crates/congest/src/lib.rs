@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod async_sim;
+pub mod audit;
 mod batch;
 pub mod checkpoint;
 mod engine;
@@ -76,6 +77,10 @@ mod sync;
 pub mod trace;
 pub mod trace_store;
 
+pub use audit::{
+    audit_enabled, AuditConfig, Auditor, Violation, ViolationKind, AUDIT_BUDGET_ENV, AUDIT_ENV,
+    DEFAULT_BUDGET_C,
+};
 pub use batch::BatchSimulator;
 pub use checkpoint::{
     CheckpointChain, CheckpointConfig, CheckpointRecord, PersistState, CHECKPOINT_DIR_ENV,

@@ -42,6 +42,7 @@ use serde::{Deserialize, Serialize};
 use symbreak_graphs::sharded::{balanced_cuts, ShardPlan, ShardedGraph};
 use symbreak_graphs::{EdgeId, Graph, IdAssignment, NodeId};
 
+use crate::audit::{audit_enabled, AuditConfig, Auditor, Violation};
 use crate::engine::{
     split_ranges_mut, DeliveryBuffer, MessageArena, NodeRuntime, NoopObserver, RoundObserver,
     ShardSliceView, ShardView,
@@ -427,9 +428,90 @@ impl<'g> SyncSimulator<'g> {
             report.utilized_edges = utilized;
             report.trace = trace;
             report
+        } else if audit_enabled() {
+            // `CONGEST_AUDIT=1`: deny-mode compliance auditing — any model
+            // violation panics with full provenance, so a run that returns
+            // is certified compliant. Reports are bit-identical to
+            // unaudited runs.
+            self.run_audited(config, &AuditConfig::from_env(), make).0
         } else {
             self.run_observed(config, make, &mut NoopObserver)
         }
+    }
+
+    /// Runs like [`SyncSimulator::run`] under a CONGEST-model compliance
+    /// [`Auditor`]: every message is checked for adjacency, per-direction
+    /// multiplicity and bandwidth, every parallel round for write-window
+    /// disjointness and inbox aliasing (see [`crate::audit`]). Returns the
+    /// report — bit-identical to an unaudited run — plus the violations
+    /// (always empty when [`AuditConfig::deny`] is set: deny mode panics at
+    /// the first finding instead).
+    ///
+    /// Unlike [`SyncSimulator::run_observed`], auditing does *not* pin the
+    /// run to the sequential loop: multi-threaded configurations take the
+    /// parallel/sharded paths monomorphized with their audit seam on, where
+    /// workers log `(from, to, message)` triples that are replayed through
+    /// the auditor in deterministic shard order. The built-in
+    /// instrumentation fields of the report are `None` here.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violation when `audit.deny` is set, and on the
+    /// engine's own send-validation failures like [`SyncSimulator::run`].
+    pub fn run_audited<A, F>(
+        &self,
+        config: SyncConfig,
+        audit: &AuditConfig,
+        make: F,
+    ) -> (ExecutionReport, Vec<Violation>)
+    where
+        A: NodeAlgorithm + Send,
+        F: FnMut(NodeInit<'_>) -> A,
+    {
+        let mut auditor = Auditor::new(self.graph, *audit);
+        let threads = config.resolved_threads();
+        let shards = config.resolved_shards();
+        let report = 'run: {
+            if shards > 0 {
+                // Same sharded-view resolution as `run_observed`.
+                let built;
+                let sharded = match self.sharded {
+                    Some(pre) => (pre.num_shards() > 1).then_some(pre),
+                    None => {
+                        let plan = ShardPlan::degree_balanced(self.graph, shards);
+                        if plan.num_shards() > 1 {
+                            built = ShardedGraph::with_plan(self.graph, plan);
+                            Some(&built)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(sharded) = sharded {
+                    if threads > 1 {
+                        break 'run self.run_sharded_parallel::<_, _, true>(
+                            config,
+                            make,
+                            sharded,
+                            threads,
+                            Some(&mut auditor),
+                        );
+                    }
+                    break 'run self.run_sequential::<_, _, _, true>(
+                        config,
+                        make,
+                        &mut auditor,
+                        Some(sharded),
+                    );
+                }
+            }
+            if threads > 1 {
+                self.run_parallel::<_, _, true>(config, make, threads, Some(&mut auditor))
+            } else {
+                self.run_sequential::<_, _, _, false>(config, make, &mut auditor, None)
+            }
+        };
+        (report, auditor.finish())
     }
 
     /// Runs like [`SyncSimulator::run`] with a caller-supplied
@@ -485,13 +567,15 @@ impl<'g> SyncSimulator<'g> {
                 // else walks the shards in order on the sequential loop.
                 // Reports are bit-identical either way.
                 if !O::ACTIVE && threads > 1 {
-                    return self.run_sharded_parallel(config, make, sharded, threads);
+                    return self.run_sharded_parallel::<_, _, false>(
+                        config, make, sharded, threads, None,
+                    );
                 }
                 return self.run_sequential::<_, _, _, true>(config, make, observer, Some(sharded));
             }
         }
         if !O::ACTIVE && threads > 1 {
-            self.run_parallel(config, make, threads)
+            self.run_parallel::<_, _, false>(config, make, threads, None)
         } else {
             self.run_sequential::<_, _, _, false>(config, make, observer, None)
         }
@@ -667,12 +751,24 @@ impl<'g> SyncSimulator<'g> {
     }
 
     /// The multi-core round loop: degree-balanced contiguous shards of the
-    /// active list, thread-local staging, deterministic merge.
-    fn run_parallel<A, F>(&self, config: SyncConfig, make: F, threads: usize) -> ExecutionReport
+    /// active list, thread-local staging, deterministic merge. With `AUDIT`
+    /// set (and the matching `auditor`), every worker additionally logs its
+    /// `(from, to, message)` sends; the main thread replays the logs in
+    /// shard order through the auditor, records each shard's write window
+    /// and checks the flipped arena — zero cost when off, exactly like the
+    /// fault-injection seam.
+    fn run_parallel<A, F, const AUDIT: bool>(
+        &self,
+        config: SyncConfig,
+        make: F,
+        threads: usize,
+        mut auditor: Option<&mut Auditor<'_>>,
+    ) -> ExecutionReport
     where
         A: NodeAlgorithm + Send,
         F: FnMut(NodeInit<'_>) -> A,
     {
+        debug_assert_eq!(AUDIT, auditor.is_some());
         let n = self.graph.num_nodes();
         let mut runtime = NodeRuntime::new(self.graph, self.ids, self.level, make);
         let mut arena = MessageArena::new(n);
@@ -703,6 +799,9 @@ impl<'g> SyncSimulator<'g> {
         let mut shard_staged: Vec<Vec<(u32, Message)>> =
             (0..max_shards).map(|_| Vec::new()).collect();
         let mut shard_undone: Vec<Vec<u32>> = (0..max_shards).map(|_| Vec::new()).collect();
+        // Audit send logs (empty vectors — allocation-free — when off).
+        let mut shard_sent: Vec<Vec<(NodeId, NodeId, Message)>> =
+            (0..max_shards).map(|_| Vec::new()).collect();
 
         loop {
             if rounds > 0 && arena.len() == 0 && undone_count == 0 {
@@ -729,16 +828,20 @@ impl<'g> SyncSimulator<'g> {
                     .zip(&bounds)
                     .zip(shard_staged.iter_mut())
                     .zip(shard_undone.iter_mut())
+                    .zip(shard_sent.iter_mut())
                     .zip(done_slices)
                     .map(
-                        |((((shard, &(lo, hi)), staged), undone_buf), done_slice)| ShardTask {
-                            shard,
-                            active_slice: &active[lo..hi],
-                            base: active[lo] as usize,
-                            staged,
-                            undone_buf,
-                            done_slice,
-                            outcome: (0, 0, 0),
+                        |(((((shard, &(lo, hi)), staged), undone_buf), sent), done_slice)| {
+                            ShardTask {
+                                shard,
+                                active_slice: &active[lo..hi],
+                                base: active[lo] as usize,
+                                staged,
+                                undone_buf,
+                                sent,
+                                done_slice,
+                                outcome: (0, 0, 0),
+                            }
                         },
                     )
                     .collect();
@@ -746,7 +849,12 @@ impl<'g> SyncSimulator<'g> {
                 if tasks.len() == 1 {
                     // Small round: one shard, stepped inline on the caller
                     // thread through the exact same path the workers run.
-                    run_shard_task(&mut tasks[0], rounds, &arena, config.message_bit_limit);
+                    run_shard_task::<_, AUDIT>(
+                        &mut tasks[0],
+                        rounds,
+                        &arena,
+                        config.message_bit_limit,
+                    );
                 } else {
                     // Oversubscribed shards, dynamically claimed: the pool
                     // cuts the task list into single-task chunks and its
@@ -757,24 +865,42 @@ impl<'g> SyncSimulator<'g> {
                     let bit_limit = config.message_bit_limit;
                     pool.par_chunks_mut(&mut tasks, |_, chunk| {
                         for task in chunk {
-                            run_shard_task(task, rounds, arena_ref, bit_limit);
+                            run_shard_task::<_, AUDIT>(task, rounds, arena_ref, bit_limit);
                         }
                     });
                 }
 
                 let mut pools = Vec::with_capacity(tasks.len());
-                for task in tasks {
+                for (t, task) in tasks.into_iter().enumerate() {
                     pools.push(task.shard.into_pool());
                     let (shard_messages, shard_max_bits, undone_delta) = task.outcome;
                     messages += shard_messages;
                     max_bits = max_bits.max(shard_max_bits);
                     undone_count = (undone_count as i64 + undone_delta) as usize;
                     undone.extend_from_slice(task.undone_buf);
+                    if AUDIT {
+                        // Replay this shard's send log in shard order — the
+                        // deterministic merge order — with shard provenance,
+                        // and register its write window.
+                        let aud = auditor.as_deref_mut().expect("AUDIT implies an auditor");
+                        aud.set_shard(Some(t));
+                        let (wlo, whi) = node_bounds[t];
+                        aud.record_window(t, wlo, whi);
+                        for &(from, to, msg) in task.sent.iter() {
+                            aud.on_send(from, to, &msg);
+                        }
+                        task.sent.clear();
+                    }
                 }
                 runtime.restore_pools(pools);
             }
 
             staging.flip_shards(&mut shard_staged[..shards_used], &mut arena, &mut receivers);
+            if AUDIT {
+                let aud = auditor.as_deref_mut().expect("AUDIT implies an auditor");
+                aud.check_arena(&arena);
+                aud.end_round();
+            }
             next_active(&mut receivers, &undone, &mut active, n);
             rounds += 1;
         }
@@ -801,17 +927,19 @@ impl<'g> SyncSimulator<'g> {
     /// is stepped in ascending order, so the merged arena — and therefore
     /// the report — is bit-identical to the unsharded engine at any
     /// shard/thread combination.
-    fn run_sharded_parallel<A, F>(
+    fn run_sharded_parallel<A, F, const AUDIT: bool>(
         &self,
         config: SyncConfig,
         make: F,
         sharded: &ShardedGraph,
         threads: usize,
+        mut auditor: Option<&mut Auditor<'_>>,
     ) -> ExecutionReport
     where
         A: NodeAlgorithm + Send,
         F: FnMut(NodeInit<'_>) -> A,
     {
+        debug_assert_eq!(AUDIT, auditor.is_some());
         let n = self.graph.num_nodes();
         let s = sharded.num_shards();
         let plan = sharded.plan();
@@ -847,6 +975,9 @@ impl<'g> SyncSimulator<'g> {
         let mut frontiers: Vec<Vec<(u32, Message)>> = (0..s * s).map(|_| Vec::new()).collect();
         let mut shard_undone: Vec<Vec<u32>> = (0..s).map(|_| Vec::new()).collect();
         let mut scratches: Vec<Vec<NodeId>> = (0..s).map(|_| Vec::new()).collect();
+        // Audit send logs (empty vectors — allocation-free — when off).
+        let mut shard_sent: Vec<Vec<(NodeId, NodeId, Message)>> =
+            (0..s).map(|_| Vec::new()).collect();
 
         loop {
             if rounds > 0 && arena.len() == 0 && undone_count == 0 {
@@ -876,15 +1007,17 @@ impl<'g> SyncSimulator<'g> {
                     .zip(frontiers.chunks_mut(s))
                     .zip(shard_undone.iter_mut())
                     .zip(scratches.iter_mut())
+                    .zip(shard_sent.iter_mut())
                     .zip(done_slices)
                     .map(
-                        |(((((view, &(wlo, whi)), frontier_row), undone_buf), scratch), ds)| {
+                        |((((((view, &(wlo, whi)), frontier_row), undone_buf), scratch), sent), ds)| {
                             ShardedTask {
                                 view,
                                 active_slice: &active[wlo..whi],
                                 frontier_row,
                                 undone_buf,
                                 scratch,
+                                sent,
                                 done_slice: ds,
                                 outcome: (0, 0, 0),
                             }
@@ -896,31 +1029,55 @@ impl<'g> SyncSimulator<'g> {
                     // Small round: step the shards inline on the caller
                     // thread — same path, no fork-join.
                     for task in &mut tasks {
-                        run_sharded_task(task, rounds, &arena, config.message_bit_limit, plan);
+                        run_sharded_task::<_, AUDIT>(
+                            task,
+                            rounds,
+                            &arena,
+                            config.message_bit_limit,
+                            plan,
+                        );
                     }
                 } else {
                     let arena_ref = &arena;
                     let bit_limit = config.message_bit_limit;
                     pool.par_chunks_mut(&mut tasks, |_, chunk| {
                         for task in chunk {
-                            run_sharded_task(task, rounds, arena_ref, bit_limit, plan);
+                            run_sharded_task::<_, AUDIT>(task, rounds, arena_ref, bit_limit, plan);
                         }
                     });
                 }
 
                 let mut pools = Vec::with_capacity(tasks.len());
-                for task in tasks {
+                for (t, task) in tasks.into_iter().enumerate() {
                     pools.push(task.view.into_pool());
                     let (shard_messages, shard_max_bits, undone_delta) = task.outcome;
                     messages += shard_messages;
                     max_bits = max_bits.max(shard_max_bits);
                     undone_count = (undone_count as i64 + undone_delta) as usize;
                     undone.extend_from_slice(task.undone_buf);
+                    if AUDIT {
+                        // Replay in source-shard order — the frontier
+                        // matrix's merge order — with shard provenance; the
+                        // write window is the shard's node range.
+                        let aud = auditor.as_deref_mut().expect("AUDIT implies an auditor");
+                        aud.set_shard(Some(t));
+                        let (wlo, whi) = node_ranges[t];
+                        aud.record_window(t, wlo, whi);
+                        for &(from, to, msg) in task.sent.iter() {
+                            aud.on_send(from, to, &msg);
+                        }
+                        task.sent.clear();
+                    }
                 }
                 runtime.restore_pools(pools);
             }
 
             staging.flip_shards(&mut frontiers, &mut arena, &mut receivers);
+            if AUDIT {
+                let aud = auditor.as_deref_mut().expect("AUDIT implies an auditor");
+                aud.check_arena(&arena);
+                aud.end_round();
+            }
             next_active(&mut receivers, &undone, &mut active, n);
             rounds += 1;
         }
@@ -948,6 +1105,8 @@ struct ShardTask<'a, 'rt, A> {
     base: usize,
     staged: &'a mut Vec<(u32, Message)>,
     undone_buf: &'a mut Vec<u32>,
+    /// Audit send log `(from, to, message)` — only written under `AUDIT`.
+    sent: &'a mut Vec<(NodeId, NodeId, Message)>,
     done_slice: &'a mut [bool],
     /// `(messages, max_bits, undone_count delta)`.
     outcome: (u64, u32, i64),
@@ -955,13 +1114,13 @@ struct ShardTask<'a, 'rt, A> {
 
 /// Steps one [`ShardTask`] — shared by the inline single-shard path and the
 /// claimed parallel path so the two cannot drift.
-fn run_shard_task<A: NodeAlgorithm>(
+fn run_shard_task<A: NodeAlgorithm, const AUDIT: bool>(
     task: &mut ShardTask<'_, '_, A>,
     round: u64,
     arena: &MessageArena,
     bit_limit: u32,
 ) {
-    step_shard(
+    step_shard::<_, AUDIT>(
         &mut task.shard,
         task.active_slice,
         task.base,
@@ -970,6 +1129,7 @@ fn run_shard_task<A: NodeAlgorithm>(
         bit_limit,
         task.staged,
         task.undone_buf,
+        task.sent,
         task.done_slice,
         &mut task.outcome,
     );
@@ -980,7 +1140,7 @@ fn run_shard_task<A: NodeAlgorithm>(
 /// messages locally and recording done-flag transitions in the shard's
 /// window of the `done` array.
 #[allow(clippy::too_many_arguments)]
-fn step_shard<A: NodeAlgorithm>(
+fn step_shard<A: NodeAlgorithm, const AUDIT: bool>(
     shard: &mut ShardView<'_, '_, A>,
     active_slice: &[u32],
     base: usize,
@@ -989,6 +1149,7 @@ fn step_shard<A: NodeAlgorithm>(
     bit_limit: u32,
     staged: &mut Vec<(u32, Message)>,
     undone_buf: &mut Vec<u32>,
+    sent: &mut Vec<(NodeId, NodeId, Message)>,
     done_slice: &mut [bool],
     outcome: &mut (u64, u32, i64),
 ) {
@@ -1004,8 +1165,11 @@ fn step_shard<A: NodeAlgorithm>(
             arena.inbox(i),
             bit_limit,
             &mut local_max_bits,
-            &mut |_from, to, msg| {
+            &mut |from, to, msg| {
                 local_messages += 1;
+                if AUDIT {
+                    sent.push((from, to, msg));
+                }
                 staged.push((to.0, msg));
             },
         );
@@ -1033,6 +1197,8 @@ struct ShardedTask<'a, 'rt, 'g, 'sg, A> {
     frontier_row: &'a mut [Vec<(u32, Message)>],
     undone_buf: &'a mut Vec<u32>,
     scratch: &'a mut Vec<NodeId>,
+    /// Audit send log `(from, to, message)` — only written under `AUDIT`.
+    sent: &'a mut Vec<(NodeId, NodeId, Message)>,
     done_slice: &'a mut [bool],
     /// `(messages, max_bits, undone_count delta)`.
     outcome: (u64, u32, i64),
@@ -1041,7 +1207,7 @@ struct ShardedTask<'a, 'rt, 'g, 'sg, A> {
 /// Steps one [`ShardedTask`]: the shard's window of the round's ascending
 /// active list runs through the shard-local view, and every outgoing message
 /// is routed to its destination shard's frontier buffer.
-fn run_sharded_task<A: NodeAlgorithm>(
+fn run_sharded_task<A: NodeAlgorithm, const AUDIT: bool>(
     task: &mut ShardedTask<'_, '_, '_, '_, A>,
     round: u64,
     arena: &MessageArena,
@@ -1054,6 +1220,7 @@ fn run_sharded_task<A: NodeAlgorithm>(
         frontier_row,
         undone_buf,
         scratch,
+        sent,
         done_slice,
         outcome,
     } = task;
@@ -1071,8 +1238,11 @@ fn run_sharded_task<A: NodeAlgorithm>(
             bit_limit,
             &mut local_max_bits,
             scratch,
-            &mut |_from, to, msg| {
+            &mut |from, to, msg| {
                 local_messages += 1;
+                if AUDIT {
+                    sent.push((from, to, msg));
+                }
                 frontier_row[plan.shard_of(to)].push((to.0, msg));
             },
         );

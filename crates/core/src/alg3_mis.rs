@@ -100,6 +100,11 @@ impl NodeAlgorithm for AnnounceNode {
 struct InformNode {
     in_mis_s: bool,
     informed: u64,
+    /// Relays not yet sent: an edge may carry only one message per round
+    /// (the `congest::audit` multiplicity check enforces this), so when one
+    /// forwarder owes the same 2-hop target relays for several joiners they
+    /// are spread over consecutive rounds.
+    pending: Vec<(NodeId, u64)>,
 }
 
 impl NodeAlgorithm for InformNode {
@@ -149,12 +154,23 @@ impl NodeAlgorithm for InformNode {
             }
         }
         let _ = my_id;
-        for (w, uid) in to_send {
-            ctx.send(w, Message::tagged(TAG_JOIN_FWD).with_id(uid));
+        self.pending.extend(to_send);
+        // Drain at most one relay per target edge per round; a node with
+        // leftovers stays active (`is_done`) and continues next round.
+        let mut sent_now: Vec<NodeId> = Vec::new();
+        let mut rest = Vec::new();
+        for (w, uid) in std::mem::take(&mut self.pending) {
+            if sent_now.contains(&w) {
+                rest.push((w, uid));
+            } else {
+                sent_now.push(w);
+                ctx.send(w, Message::tagged(TAG_JOIN_FWD).with_id(uid));
+            }
         }
+        self.pending = rest;
     }
     fn is_done(&self) -> bool {
-        true
+        self.pending.is_empty()
     }
     fn output(&self) -> Option<u64> {
         Some(self.informed)
@@ -263,6 +279,7 @@ pub fn run<R: Rng + ?Sized>(
     let report = sim.run(stage_config, |init| InformNode {
         in_mis_s: greedy_mis[init.node.index()],
         informed: 0,
+        pending: Vec::new(),
     });
     costs.charge_report("inform 2-hop neighbourhoods (KT-2 BFS trees)", &report);
 
@@ -433,6 +450,7 @@ pub fn run_batch(
     let reports = sim.run_batch(stage_config, lanes, |k, init| InformNode {
         in_mis_s: greedy[k][init.node.index()],
         informed: 0,
+        pending: Vec::new(),
     });
     for (k, report) in reports.iter().enumerate() {
         costs[k].charge_report("inform 2-hop neighbourhoods (KT-2 BFS trees)", report);

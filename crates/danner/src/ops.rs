@@ -63,31 +63,32 @@ impl NodeAlgorithm for BroadcastNode {
                 }
             }
         }
-        // Forward (or, at the root, inject) the next word in sequence once it
-        // is available locally.
-        while self.next_to_send < self.expected {
-            let idx = self.next_to_send;
-            let Some(word) = self.words[idx] else { break };
-            let msg = Message::tagged(TAG_BCAST)
-                .with_value(idx as u64)
-                .with_value(word);
-            for i in 0..self.children.len() {
-                ctx.send(self.children[i], msg);
+        // Forward (or, at the root, inject) *one* word per round — a tree
+        // edge may carry at most one message per round in the CONGEST model
+        // (the `congest::audit` multiplicity check enforces this), so the
+        // words pipeline down the tree one level and one index per round.
+        if self.next_to_send < self.expected {
+            if let Some(word) = self.words[self.next_to_send] {
+                let msg = Message::tagged(TAG_BCAST)
+                    .with_value(self.next_to_send as u64)
+                    .with_value(word);
+                for i in 0..self.children.len() {
+                    ctx.send(self.children[i], msg);
+                }
+                self.next_to_send += 1;
             }
-            self.next_to_send += 1;
         }
         let _ = self.is_root;
     }
 
-    /// Purely reactive: the node has nothing to do until a message arrives,
-    /// and the engine's `is_done` contract re-invokes done nodes on message
-    /// arrival. Reporting done from round 0 keeps the per-round cost at
-    /// O(frontier) — with the old "done once every word arrived" flag, all n
-    /// nodes stayed in the active set for all `height` rounds, which made a
-    /// seed broadcast over a 100k-cycle danner (height ≈ n/2) take Θ(n²)
-    /// activations.
+    /// Reactive, except while holding an injectable word: a forwarded word
+    /// arrives through the inbox (which re-invokes a done node), so a node
+    /// only needs to stay active while its next word in sequence is already
+    /// available locally — the root during injection, or any node the round
+    /// it forwards. Per-round cost stays O(frontier): total activations are
+    /// O(messages), never the all-nodes-all-rounds Θ(n·height) sweep.
     fn is_done(&self) -> bool {
-        true
+        self.next_to_send >= self.expected || self.words[self.next_to_send].is_none()
     }
 
     fn output(&self) -> Option<u64> {

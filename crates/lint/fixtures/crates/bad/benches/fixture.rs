@@ -1,0 +1,10 @@
+// Fixture bench: names the BENCH_fixture.json artifact and emits a schema
+// containing only the "bench" key. The committed artifact also carries
+// "extra_key", so `bench-schema` must fire exactly once (for that key).
+// Not a crate root, so the missing-header lints do not apply here.
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fixture.json");
+    let row = "{\"bench\":\"fixture\"}";
+    let _ = std::fs::write(path, row);
+}

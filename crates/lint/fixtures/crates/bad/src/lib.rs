@@ -1,0 +1,42 @@
+// Fixture crate root: every determinism/hygiene diagnostic must fire here
+// exactly once. It has NO inner attributes, so `forbid-unsafe` and
+// `missing-docs` each fire once on this file.
+//
+// Decoys the tokenizer must NOT flag — these live in comments and strings:
+// HashMap HashSet Instant SystemTime thread::current dbg! todo!
+/* nested /* block comment decoy: HashSet SystemTime */ still a comment */
+
+/// A string decoy: lint identifiers inside literals are not identifiers.
+pub const DECOY: &str = "HashMap Instant thread::current dbg!(x)";
+
+/// A raw-string decoy with a fake terminator inside.
+pub const RAW_DECOY: &str = r#"SystemTime "quoted" HashSet"#;
+
+/// Exercises char-literal vs lifetime disambiguation around the decoys.
+pub fn lifetimes<'a>(s: &'a str) -> (char, &'a str) {
+    ('\'', s)
+}
+
+/// The one real `wall-clock` finding.
+pub fn wall() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+/// The one real `thread-id` finding.
+pub fn who() -> std::thread::Thread {
+    std::thread::current()
+}
+
+/// The one real `hash-iter` and the one real `dbg-residue` finding.
+pub fn noisy(map: &std::collections::HashMap<u32, u32>) -> usize {
+    dbg!(map.len())
+}
+
+/// `CONGEST_DOCUMENTED` has a README row (no finding);
+/// `CONGEST_UNDOCUMENTED` does not — the one real `env-knob-doc` finding.
+pub fn knobs() -> (bool, bool) {
+    (
+        std::env::var("CONGEST_DOCUMENTED").is_ok(),
+        std::env::var("CONGEST_UNDOCUMENTED").is_ok(),
+    )
+}

@@ -1,0 +1,93 @@
+//! `congest-lint` CLI: lint the workspace, print findings, exit non-zero on
+//! any non-allowlisted diagnostic.
+//!
+//! ```text
+//! congest-lint [--root <dir>] [--report <path>] [--quiet]
+//! ```
+//!
+//! `--root` defaults to the nearest ancestor of the current directory that
+//! looks like the workspace root (has a `crates/` directory), so both
+//! `cargo run -p lint` from anywhere inside the tree and a bare binary in CI
+//! do the right thing. `--report` writes the machine-readable
+//! `lint_report.json` (catalogue + knob registry) used as a CI artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        if dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--report" => report = args.next().map(PathBuf::from),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("congest-lint [--root <dir>] [--report <path>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("congest-lint: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = match root.or_else(|| find_root(std::env::current_dir().unwrap_or_default())) {
+        Some(r) => r,
+        None => {
+            eprintln!("congest-lint: no workspace root found (pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let outcome = match lint::run_lints(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("congest-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = report {
+        if let Err(e) = std::fs::write(&path, lint::report_json(&outcome)) {
+            eprintln!("congest-lint: write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for d in &outcome.diagnostics {
+        eprintln!("{d}");
+    }
+    if !quiet {
+        eprintln!(
+            "congest-lint: {} file(s), {} diagnostic(s), {} suppressed by lint.allow, \
+             {} env knob(s) registered",
+            outcome.files_scanned,
+            outcome.diagnostics.len(),
+            outcome.suppressed.len(),
+            outcome.knobs.len()
+        );
+    }
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -13,6 +13,7 @@
 //! workspace's `BENCH_*.json` artifacts are produced.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::time::{Duration, Instant};
 

@@ -15,6 +15,7 @@
 //! workspace `Cargo.toml` once a registry is available.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// A low-level source of 32/64-bit random words.
 pub trait RngCore {

@@ -36,6 +36,8 @@
 //! Point the `[workspace.dependencies]` entry at crates.io rayon to swap in
 //! the real pool — no source changes required in calling crates.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -7,5 +7,6 @@
 //! crate to turn serialization on — no source changes needed.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};

@@ -6,6 +6,8 @@
 //! Swapping in the real `serde`/`serde_derive` later requires no source
 //! changes outside the workspace `Cargo.toml`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `serde_derive::Serialize`.
